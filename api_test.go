@@ -1,0 +1,105 @@
+package ghrpsim
+
+import (
+	"fmt"
+	"log"
+	"testing"
+)
+
+func TestFacadeSimulation(t *testing.T) {
+	spec := SuiteN(8)[4]
+	prog, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := GenerateRecords(prog, 1, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	for _, kind := range PaperPolicies() {
+		res, err := SimulateRecords(cfg, kind, recs)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.CountedInstrs == 0 {
+			t.Errorf("%v: zero counted instructions", kind)
+		}
+	}
+}
+
+func TestFacadeParsePolicy(t *testing.T) {
+	k, err := ParsePolicy("ghrp")
+	if err != nil || k != PolicyGHRP {
+		t.Fatalf("ParsePolicy = %v, %v", k, err)
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	if len(Suite()) != SuiteSize {
+		t.Fatalf("Suite() size %d", len(Suite()))
+	}
+	if got := len(SuiteN(10)); got != 10 {
+		t.Fatalf("SuiteN(10) size %d", got)
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	m, err := Run(Options{Workloads: SuiteN(4), Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ICacheMPKI[PolicyGHRP]) != 4 {
+		t.Fatalf("measurement shape %d", len(m.ICacheMPKI[PolicyGHRP]))
+	}
+}
+
+func TestFacadeEngineAccess(t *testing.T) {
+	e, err := NewEngine(DefaultConfig(), PolicyGHRP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.GHRP() == nil {
+		t.Fatal("GHRP internals not exposed")
+	}
+	st := GHRPConfig{}.StorageFor(1024)
+	if st.TotalBits == 0 {
+		t.Fatal("storage computation empty")
+	}
+	var _ GHRPStorage = st
+}
+
+func TestFacadeProgramGeneration(t *testing.T) {
+	prof := Profile{
+		Name: "api-test", Seed: 1,
+		Funcs: 20, BlocksMin: 4, BlocksMax: 8, InstrsMin: 3, InstrsMax: 8,
+		LoopFrac: 0.5, TripMin: 2, TripMax: 10,
+		Phases: 2, PhaseFuncs: 8,
+	}
+	prog, err := GenerateProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.CodeBytes() == 0 {
+		t.Fatal("empty program")
+	}
+}
+
+// Example demonstrates the one-call comparison of LRU and GHRP that the
+// README shows.
+func Example() {
+	spec := SuiteN(8)[4]
+	prog, err := spec.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := GenerateRecords(prog, 1, 20_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	lru, _ := SimulateRecords(cfg, PolicyLRU, recs)
+	ghrp, _ := SimulateRecords(cfg, PolicyGHRP, recs)
+	fmt.Println(lru.Policy, ghrp.Policy)
+	// Output: LRU GHRP
+}

@@ -1,0 +1,191 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic workload suite. Each experiment
+// prints the corresponding rows or series; `-run all` (the default)
+// produces the full report recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-run all|table1|fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|headline|ablations]
+//	            [-n workloads] [-scale f] [-parallel n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ghrpsim/internal/core"
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/sim"
+	"ghrpsim/internal/workload"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment id or 'all'")
+		n        = flag.Int("n", workload.SuiteSize, "number of suite workloads")
+		scale    = flag.Float64("scale", 1.0, "instruction budget scale factor")
+		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	// "all" covers the paper artifacts; headroom and extended are
+	// explicit extras (run with -run headroom / -run extended).
+
+	opts := sim.Options{
+		Workloads:   workload.SuiteN(*n),
+		Scale:       *scale,
+		Parallelism: *parallel,
+	}
+	want := func(id string) bool { return *run == "all" || *run == id }
+	start := time.Now()
+	fmt.Printf("# GHRP reproduction experiments (%d workloads, scale %.2f)\n\n", len(opts.Workloads), *scale)
+
+	if want("table1") {
+		fmt.Println("## Table I")
+		fmt.Println(sim.RenderTable1(frontend.DefaultICache(), core.Config{}))
+	}
+
+	// Most figures share one default-configuration suite run.
+	var m *sim.Measurements
+	needMain := false
+	for _, id := range []string{"fig3", "fig6", "fig8", "fig9", "fig10", "fig11", "headline", "fig1", "fig5"} {
+		if want(id) {
+			needMain = true
+		}
+	}
+	if needMain {
+		var err error
+		m, err = sim.Run(opts)
+		fail(err)
+	}
+
+	if want("headline") {
+		fmt.Println("## Headline (Section V text)")
+		fmt.Println(sim.ComputeHeadline(m, sim.ICache).Render())
+		fmt.Println(renderImprovements(m, sim.ICache))
+		fmt.Println(sim.ComputeHeadline(m, sim.BTB).Render())
+		fmt.Println(renderImprovements(m, sim.BTB))
+	}
+	if want("fig3") {
+		fmt.Println("## Fig. 3 — I-cache S-curve (64KB 8-way 64B)")
+		fmt.Println(sim.ComputeSCurve(m, sim.ICache).Render(m.Policies, 24))
+	}
+	if want("fig6") {
+		fmt.Println("## Fig. 6 — I-cache MPKI per benchmark")
+		fmt.Println(sim.ComputeBars(m, sim.ICache, 12).Render(m.Policies))
+	}
+	if want("fig8") {
+		fmt.Println("## Fig. 8 — relative difference vs LRU, 95% CI")
+		fmt.Println(sim.RenderCI(sim.ComputeCI(m, sim.ICache), sim.ICache))
+		fmt.Println(sim.RenderCI(sim.ComputeCI(m, sim.BTB), sim.BTB))
+	}
+	if want("fig9") {
+		fmt.Println("## Fig. 9 — workloads benefited / similar / harmed vs LRU")
+		fmt.Println(sim.RenderWinLoss(sim.ComputeWinLoss(m, sim.ICache), sim.ICache, len(m.Specs)))
+		fmt.Println(sim.RenderWinLoss(sim.ComputeWinLoss(m, sim.BTB), sim.BTB, len(m.Specs)))
+	}
+	if want("fig10") {
+		fmt.Println("## Fig. 10 — BTB MPKI per benchmark (4096-entry 4-way)")
+		fmt.Println(sim.ComputeBars(m, sim.BTB, 12).Render(m.Policies))
+	}
+	if want("fig11") {
+		fmt.Println("## Fig. 11 — BTB S-curve")
+		fmt.Println(sim.ComputeSCurve(m, sim.BTB).Render(m.Policies, 24))
+	}
+
+	if want("fig1") {
+		fmt.Println("## Fig. 1 — I-cache efficiency heat map (16KB 8-way)")
+		cfg := frontend.DefaultConfig()
+		cfg.ICache = frontend.ICacheConfig{SizeBytes: 16 * 1024, BlockBytes: 64, Ways: 8}
+		spec := sim.TopPressureSpec(m)
+		instrs := uint64(float64(spec.DefaultInstructions) * *scale)
+		hs, err := sim.ComputeHeatmaps(cfg, sim.ICache, spec, instrs, m.Policies, 32, 2)
+		fail(err)
+		fmt.Println(sim.RenderHeatmaps(hs, sim.ICache, spec.Name))
+	}
+	if want("fig5") {
+		fmt.Println("## Fig. 5 — BTB efficiency heat map (256-entry 8-way)")
+		cfg := frontend.DefaultConfig()
+		cfg.BTB = frontend.BTBConfig{Entries: 256, Ways: 8}
+		spec := sim.TopPressureSpec(m)
+		instrs := uint64(float64(spec.DefaultInstructions) * *scale)
+		hs, err := sim.ComputeHeatmaps(cfg, sim.BTB, spec, instrs, m.Policies, 32, 2)
+		fail(err)
+		fmt.Println(sim.RenderHeatmaps(hs, sim.BTB, spec.Name))
+	}
+
+	if want("fig2") {
+		fmt.Println("## Fig. 2 — set-sampling does not generalize (SDBP sampler restriction)")
+		rows, err := sim.ComputeSampling(opts, []int{2, 8, 32, 0})
+		fail(err)
+		fmt.Println(sim.RenderSampling(rows, frontend.DefaultICache().Sets()))
+	}
+
+	if want("fig7") {
+		fmt.Println("## Fig. 7 — average I-cache MPKI across configurations")
+		rows, err := sim.RunSweep(opts, sim.Fig7Configs())
+		fail(err)
+		fmt.Println(sim.RenderSweep(rows, frontend.PaperPolicies()))
+	}
+
+	if want("headroom") {
+		fmt.Println("## Headroom vs Belady's OPT (extension beyond the paper)")
+		rep, err := sim.ComputeHeadroom(opts)
+		fail(err)
+		fmt.Println(rep.Render())
+	}
+
+	if want("extended") {
+		fmt.Println("## Extended policies (FIFO, DIP, SHiP beyond the paper's five)")
+		ext := opts
+		ext.Policies = frontend.ExtendedPolicies()
+		me, err := sim.Run(ext)
+		fail(err)
+		fmt.Println(sim.ComputeHeadline(me, sim.ICache).Render())
+		fmt.Println(sim.ComputeHeadline(me, sim.BTB).Render())
+	}
+
+	if want("ablations") {
+		fmt.Println("## Ablations (design choices from Section III)")
+		type abl struct {
+			title string
+			fn    func(sim.Options) ([]sim.AblationRow, error)
+		}
+		for _, a := range []abl{
+			{"majority vote vs summation (Section III-C)", sim.AblationVote},
+			{"path history depth (Section III-A)", sim.AblationHistoryDepth},
+			{"bypass on/off", sim.AblationBypass},
+			{"wrong-path speculation handling (Section III-F)", sim.AblationSpeculation},
+			{"prediction table count", sim.AblationTableCount},
+			{"next-line prefetching x replacement (Section II-E)", sim.AblationPrefetch},
+		} {
+			rows, err := a.fn(opts)
+			fail(err)
+			fmt.Println(sim.RenderAblation(a.title, rows))
+		}
+	}
+
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func renderImprovements(m *sim.Measurements, st sim.Structure) string {
+	impr := sim.GHRPImprovements(m, st)
+	var b strings.Builder
+	fmt.Fprintf(&b, "GHRP %s mean-MPKI improvement:", st)
+	for _, k := range m.Policies {
+		if v, ok := impr[k]; ok {
+			fmt.Fprintf(&b, " %.1f%% over %s;", v, k)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command ghrpsim simulates one suite workload (or a trace file) through
+// the front end under one replacement policy and prints its statistics.
+//
+// Usage:
+//
+//	ghrpsim [-workload NAME | -trace FILE] [-policy ghrp] [-instrs N]
+//	        [-icache-kb 64] [-ways 8] [-block 64] [-btb-entries 4096] [-btb-ways 4]
+//	        [-heatmap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghrpsim/internal/analysis"
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/stats"
+	"ghrpsim/internal/trace"
+	"ghrpsim/internal/workload"
+)
+
+func main() {
+	var (
+		wlName     = flag.String("workload", "SS-001", "suite workload name (see tracegen -list)")
+		traceFile  = flag.String("trace", "", "binary trace file (overrides -workload)")
+		policy     = flag.String("policy", "GHRP", "replacement policy: LRU, Random, FIFO, SRRIP, SDBP, GHRP")
+		instrs     = flag.Uint64("instrs", 0, "instruction budget (0 = workload default)")
+		icacheKB   = flag.Int("icache-kb", 64, "I-cache size in KB")
+		ways       = flag.Int("ways", 8, "I-cache associativity")
+		block      = flag.Int("block", 64, "I-cache block size in bytes")
+		btbEntries = flag.Int("btb-entries", 4096, "BTB entries")
+		btbWays    = flag.Int("btb-ways", 4, "BTB associativity")
+		heatmap    = flag.Bool("heatmap", false, "print the I-cache efficiency heat map")
+		pgm        = flag.String("pgm", "", "write the I-cache efficiency heat map as a PGM image")
+		analyze    = flag.Bool("analyze", false, "print reuse-distance and working-set profiles")
+	)
+	flag.Parse()
+
+	kind, err := frontend.ParsePolicy(*policy)
+	fail(err)
+	cfg := frontend.DefaultConfig()
+	cfg.ICache = frontend.ICacheConfig{SizeBytes: *icacheKB * 1024, BlockBytes: *block, Ways: *ways}
+	cfg.BTB = frontend.BTBConfig{Entries: *btbEntries, Ways: *btbWays}
+	fail(cfg.Validate())
+
+	var recs []trace.Record
+	var name string
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		fail(err)
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		fail(err)
+		recs, err = r.ReadAll()
+		fail(err)
+		name = r.Header().Name
+	} else {
+		spec, err := workload.Find(*wlName)
+		fail(err)
+		prog, err := spec.Generate()
+		fail(err)
+		target := spec.DefaultInstructions
+		if *instrs > 0 {
+			target = *instrs
+		}
+		recs, err = frontend.GenerateRecords(prog, 1, target)
+		fail(err)
+		name = spec.Name
+	}
+
+	total, err := frontend.CountInstructions(recs, cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
+	fail(err)
+	e, err := frontend.NewEngine(cfg, kind, cfg.WarmupFor(total))
+	fail(err)
+	res := e.Run(recs)
+
+	fmt.Printf("workload        %s\n", name)
+	fmt.Printf("policy          %s\n", kind)
+	fmt.Printf("config          %s I-cache, %s BTB\n", cfg.ICache, cfg.BTB)
+	fmt.Printf("instructions    %d total, %d counted after warm-up\n", res.TotalInstructions, res.CountedInstrs)
+	fmt.Printf("branch records  %d\n", res.Records)
+	fmt.Printf("I-cache         %d accesses, %d hits, %d misses, %d bypasses -> %.3f MPKI\n",
+		res.ICache.Accesses, res.ICache.Hits, res.ICache.Misses, res.ICache.Bypasses, res.ICacheMPKI())
+	fmt.Printf("BTB             %d accesses, %d hits, %d misses -> %.3f MPKI\n",
+		res.BTB.Accesses, res.BTB.Hits, res.BTB.Misses, res.BTBMPKI())
+	fmt.Printf("branch dir      %.2f%% accuracy, %.3f MPKI\n",
+		res.Branch.Accuracy()*100, res.BranchMPKI())
+	if g := e.GHRP(); g != nil {
+		dead, lru := g.EvictionBreakdown()
+		ps := g.Predictor().Stats()
+		fmt.Printf("GHRP            %d dead-predicted evictions, %d LRU evictions\n", dead, lru)
+		fmt.Printf("                %d dead / %d live trainings, %d dead / %d live predictions\n",
+			ps.DeadTrainings, ps.LiveTrainings, ps.DeadPredictions, ps.LivePredictions)
+	}
+	if *heatmap {
+		fmt.Printf("\nI-cache efficiency heat map (mean %.3f):\n", e.ICache().MeanEfficiency())
+		fmt.Print(stats.Heatmap(e.ICache().Efficiency(), 32, 2))
+	}
+	if *analyze {
+		blocks, _, err := frontend.BlockStream(recs, cfg)
+		fail(err)
+		prof, err := analysis.ComputeReuse(blocks, cfg.ICache.Sets(), 2*cfg.ICache.Ways)
+		fail(err)
+		fmt.Println()
+		fmt.Print(prof.Render(cfg.ICache.Ways))
+		fmt.Printf("ideal LRU hit rate at %d ways: %.1f%%\n",
+			cfg.ICache.Ways, prof.HitRateAtAssociativity(cfg.ICache.Ways)*100)
+		pts := analysis.WorkingSetCurve(blocks, []int{1 << 10, 1 << 12, 1 << 14, 1 << 16})
+		fmt.Print(analysis.RenderWorkingSet(pts, cfg.ICache.Blocks()))
+	}
+	if *pgm != "" {
+		f, err := os.Create(*pgm)
+		fail(err)
+		fail(stats.WritePGM(f, e.ICache().Efficiency(), 8))
+		fail(f.Close())
+		fmt.Printf("wrote %s\n", *pgm)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghrpsim:", err)
+		os.Exit(1)
+	}
+}

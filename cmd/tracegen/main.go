@@ -1,0 +1,112 @@
+// Command tracegen synthesizes suite workloads into binary trace files
+// (the GHRPTRC1 format of internal/trace), or lists the suite.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -workload SS-001 -out ss001.trc [-instrs N]
+//	tracegen -all -outdir traces/ [-n 32] [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ghrpsim/internal/trace"
+	"ghrpsim/internal/workload"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list suite workloads")
+		wlName = flag.String("workload", "", "workload to generate")
+		out    = flag.String("out", "", "output trace file")
+		all    = flag.Bool("all", false, "generate a suite subset into -outdir")
+		outdir = flag.String("outdir", "traces", "output directory for -all")
+		n      = flag.Int("n", 32, "suite subset size for -all")
+		instrs = flag.Uint64("instrs", 0, "instruction budget (0 = workload default)")
+		scale  = flag.Float64("scale", 1.0, "budget scale factor for -all")
+		seed   = flag.Uint64("seed", 1, "execution seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-8s %-13s %8s %9s %7s\n", "name", "category", "funcs", "instrs", "codeKB")
+		for _, s := range workload.Suite() {
+			prog, err := s.Generate()
+			fail(err)
+			fmt.Printf("%-8s %-13s %8d %9d %7d\n", s.Name, s.Category, s.Profile.Funcs,
+				s.DefaultInstructions, prog.CodeBytes()/1024)
+		}
+
+	case *wlName != "":
+		spec, err := workload.Find(*wlName)
+		fail(err)
+		target := spec.DefaultInstructions
+		if *instrs > 0 {
+			target = *instrs
+		}
+		path := *out
+		if path == "" {
+			path = spec.Name + ".trc"
+		}
+		fail(writeTrace(spec, *seed, target, path))
+		fmt.Printf("wrote %s (%d instructions)\n", path, target)
+
+	case *all:
+		fail(os.MkdirAll(*outdir, 0o755))
+		for _, spec := range workload.SuiteN(*n) {
+			target := uint64(float64(spec.DefaultInstructions) * *scale)
+			if target < 1000 {
+				target = 1000
+			}
+			path := filepath.Join(*outdir, spec.Name+".trc")
+			fail(writeTrace(spec, *seed, target, path))
+			fmt.Printf("wrote %s\n", path)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeTrace generates the workload twice: once to count records (the
+// format declares the count up front), once to stream them to disk.
+func writeTrace(spec workload.Spec, seed, target uint64, path string) error {
+	prog, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	count, err := workload.Emit(prog, seed, target, func(trace.Record) error { return nil })
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, trace.Header{
+		Name:     spec.Name,
+		Category: spec.Category,
+		Records:  count,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := workload.Emit(prog, seed, target, w.WriteRecord); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate one workload under LRU and GHRP and compare
+// I-cache and BTB misses per 1000 instructions — the paper's figure of
+// merit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghrpsim"
+)
+
+func main() {
+	// Pick a pressured server workload from the built-in 662-workload
+	// suite (a synthetic stand-in for the CBP-5 industrial traces).
+	spec, err := ghrpsim.FindWorkload("LS-104")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := spec.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s (%s): %d functions, %d KB of code\n",
+		spec.Name, spec.Category, len(prog.Funcs), prog.CodeBytes()/1024)
+
+	// Generate the branch trace once so both policies replay identical
+	// streams, exactly as the experiment harness does.
+	recs, err := ghrpsim.GenerateRecords(prog, 1, spec.DefaultInstructions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's primary configuration: 64KB 8-way I-cache with 64B
+	// blocks, 4096-entry 4-way BTB, warm-up on the first half.
+	cfg := ghrpsim.DefaultConfig()
+
+	for _, kind := range []ghrpsim.PolicyKind{ghrpsim.PolicyLRU, ghrpsim.PolicyGHRP} {
+		res, err := ghrpsim.SimulateRecords(cfg, kind, recs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s I-cache %.3f MPKI (%d misses)   BTB %.3f MPKI (%d misses)\n",
+			kind, res.ICacheMPKI(), res.ICache.Misses, res.BTBMPKI(), res.BTB.Misses)
+	}
+}

@@ -1,0 +1,169 @@
+// Package ghrpsim reproduces "Exploring Predictive Replacement Policies
+// for Instruction Cache and Branch Target Buffer" (Ajorpaz, Garza,
+// Jindal, Jiménez; ISCA 2018): Global History Reuse Prediction (GHRP), a
+// dead-block replacement and bypass policy for the I-cache and BTB,
+// together with the trace-driven front-end simulator, baseline policies
+// (LRU, Random, FIFO, SRRIP, modified SDBP), a synthetic 662-workload
+// suite standing in for the proprietary CBP-5 traces, and the experiment
+// harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// Quick start:
+//
+//	spec := ghrpsim.SuiteN(8)[0]
+//	prog, _ := spec.Generate()
+//	cfg := ghrpsim.DefaultConfig()
+//	lru, _ := ghrpsim.SimulateProgram(cfg, ghrpsim.PolicyLRU, prog, 1, 500_000)
+//	ghrp, _ := ghrpsim.SimulateProgram(cfg, ghrpsim.PolicyGHRP, prog, 1, 500_000)
+//	fmt.Printf("LRU %.3f vs GHRP %.3f I-cache MPKI\n", lru.ICacheMPKI(), ghrp.ICacheMPKI())
+//
+// The package re-exports the library's composable pieces as type
+// aliases, so external users can reach everything through this import
+// while the implementation stays organized in internal packages.
+package ghrpsim
+
+import (
+	"ghrpsim/internal/core"
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/sim"
+	"ghrpsim/internal/trace"
+	"ghrpsim/internal/workload"
+)
+
+// --- Front-end simulator -------------------------------------------------
+
+// Config is the complete front-end configuration: I-cache and BTB
+// geometry, warm-up policy, GHRP and SDBP parameters, branch predictor
+// setup, and wrong-path modeling.
+type Config = frontend.Config
+
+// ICacheConfig is the instruction cache geometry.
+type ICacheConfig = frontend.ICacheConfig
+
+// BTBConfig is the branch target buffer geometry.
+type BTBConfig = frontend.BTBConfig
+
+// Result is one simulation's statistics; see ICacheMPKI, BTBMPKI and
+// BranchMPKI.
+type Result = frontend.Result
+
+// Engine is the trace-driven front-end simulator.
+type Engine = frontend.Engine
+
+// PolicyKind names a replacement policy.
+type PolicyKind = frontend.PolicyKind
+
+// Replacement policies. PaperPolicies returns the five the paper
+// evaluates.
+const (
+	PolicyLRU    = frontend.PolicyLRU
+	PolicyRandom = frontend.PolicyRandom
+	PolicyFIFO   = frontend.PolicyFIFO
+	PolicySRRIP  = frontend.PolicySRRIP
+	PolicySDBP   = frontend.PolicySDBP
+	PolicyGHRP   = frontend.PolicyGHRP
+)
+
+// DefaultConfig mirrors the paper's primary setup: 64KB/8-way/64B
+// I-cache, 4096-entry/4-way BTB, warm-up on the first half of the trace.
+func DefaultConfig() Config { return frontend.DefaultConfig() }
+
+// ParsePolicy resolves a case-insensitive policy name ("lru", "ghrp"...).
+func ParsePolicy(name string) (PolicyKind, error) { return frontend.ParsePolicy(name) }
+
+// PaperPolicies returns LRU, Random, SRRIP, SDBP, GHRP in the paper's
+// reporting order.
+func PaperPolicies() []PolicyKind { return frontend.PaperPolicies() }
+
+// NewEngine builds a simulator for one policy; warmupLimit instructions
+// are excluded from statistics.
+func NewEngine(cfg Config, kind PolicyKind, warmupLimit uint64) (*Engine, error) {
+	return frontend.NewEngine(cfg, kind, warmupLimit)
+}
+
+// SimulateRecords replays a branch-record stream under one policy.
+func SimulateRecords(cfg Config, kind PolicyKind, recs []Record) (Result, error) {
+	return frontend.SimulateRecords(cfg, kind, recs)
+}
+
+// SimulateProgram executes a synthetic program for target instructions
+// under one policy.
+func SimulateProgram(cfg Config, kind PolicyKind, prog *Program, seed, target uint64) (Result, error) {
+	return frontend.SimulateProgram(cfg, kind, prog, seed, target)
+}
+
+// GenerateRecords executes a program once, returning its record stream
+// so several policies can replay identical traces.
+func GenerateRecords(prog *Program, seed, target uint64) ([]Record, error) {
+	return frontend.GenerateRecords(prog, seed, target)
+}
+
+// --- GHRP (the paper's contribution) -------------------------------------
+
+// GHRPConfig parameterizes the Global History Reuse Predictor: table
+// geometry, history formula, thresholds, aggregation, and training mode.
+// The zero value is the tuned paper configuration.
+type GHRPConfig = core.Config
+
+// GHRPPredictor is the prediction-table machinery shared by the I-cache
+// policy and the BTB adapter.
+type GHRPPredictor = core.Predictor
+
+// GHRPHistory is the speculative/retired path history register pair.
+type GHRPHistory = core.History
+
+// GHRPStorage describes a GHRP deployment's SRAM budget (Table I).
+type GHRPStorage = core.Storage
+
+// --- Workloads ------------------------------------------------------------
+
+// Record is one branch execution in a trace.
+type Record = trace.Record
+
+// Category labels a workload with its CBP5-style suite class.
+type Category = trace.Category
+
+// Profile parameterizes synthetic program generation.
+type Profile = workload.Profile
+
+// Program is a synthesized control-flow graph executed to emit traces.
+type Program = workload.Program
+
+// Spec is one suite workload (profile + instruction budget).
+type Spec = workload.Spec
+
+// SuiteSize is the number of workloads in the full suite (662, matching
+// the paper's CBP-5 count).
+const SuiteSize = workload.SuiteSize
+
+// Suite returns all 662 workload specifications.
+func Suite() []Spec { return workload.Suite() }
+
+// SuiteN returns an evenly spaced subsample of n workloads.
+func SuiteN(n int) []Spec { return workload.SuiteN(n) }
+
+// FindWorkload returns the suite workload with the given name.
+func FindWorkload(name string) (Spec, error) { return workload.Find(name) }
+
+// GenerateProgram synthesizes a program from a profile.
+func GenerateProgram(p Profile) (*Program, error) { return workload.Generate(p) }
+
+// --- Experiment harness ----------------------------------------------------
+
+// Options configures a suite run across policies.
+type Options = sim.Options
+
+// Measurements is a suite run's outcome: per-policy MPKI vectors.
+type Measurements = sim.Measurements
+
+// Structure selects I-cache or BTB results in experiment reports.
+type Structure = sim.Structure
+
+// Experiment structure selectors.
+const (
+	ICache = sim.ICache
+	BTB    = sim.BTB
+)
+
+// Run simulates a workload suite across policies in parallel.
+func Run(opts Options) (*Measurements, error) { return sim.Run(opts) }

@@ -1,0 +1,3 @@
+module ghrpsim
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package analysis provides offline trace analyses: per-set LRU stack
+// (reuse) distance profiles and working-set curves. These explain *why*
+// a policy behaves as it does on a workload — a reuse-distance histogram
+// concentrated below the associativity means LRU suffices; mass just
+// beyond it is where predictive replacement pays; mass at infinity is
+// compulsory traffic no policy can save.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReuseProfile is a per-set LRU stack-distance histogram over a block
+// access stream. Distance d means the access hit the d-th most recently
+// used distinct block of its set (0 = MRU re-reference); -1 (Cold) means
+// the block was never seen before in its set.
+type ReuseProfile struct {
+	// Hist[d] counts accesses with stack distance d, for d < len(Hist);
+	// deeper distances land in Beyond.
+	Hist   []uint64
+	Beyond uint64
+	Cold   uint64
+	Total  uint64
+}
+
+// ComputeReuse builds the profile for a block stream on a cache with the
+// given set count, tracking distances up to maxDepth.
+func ComputeReuse(blocks []uint64, sets, maxDepth int) (ReuseProfile, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return ReuseProfile{}, fmt.Errorf("analysis: sets %d must be a positive power of two", sets)
+	}
+	if maxDepth <= 0 {
+		return ReuseProfile{}, fmt.Errorf("analysis: maxDepth %d must be positive", maxDepth)
+	}
+	p := ReuseProfile{Hist: make([]uint64, maxDepth)}
+	// Per-set recency lists (front = MRU). Depths of interest are small,
+	// so a linear scan per access is fine and allocation-free after
+	// warm-up of the lists.
+	stacks := make([][]uint64, sets)
+	mask := uint64(sets - 1)
+	for _, b := range blocks {
+		set := b & mask
+		st := stacks[set]
+		p.Total++
+		pos := -1
+		for i, x := range st {
+			if x == b {
+				pos = i
+				break
+			}
+		}
+		switch {
+		case pos == -1:
+			p.Cold++
+			stacks[set] = append([]uint64{b}, st...)
+		default:
+			if pos < maxDepth {
+				p.Hist[pos]++
+			} else {
+				p.Beyond++
+			}
+			// Move to front.
+			copy(st[1:pos+1], st[:pos])
+			st[0] = b
+		}
+	}
+	return p, nil
+}
+
+// HitRateAtAssociativity returns the fraction of accesses an ideal
+// LRU cache of the given associativity would hit (distances < ways).
+func (p ReuseProfile) HitRateAtAssociativity(ways int) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	var hits uint64
+	for d := 0; d < ways && d < len(p.Hist); d++ {
+		hits += p.Hist[d]
+	}
+	return float64(hits) / float64(p.Total)
+}
+
+// Render prints the histogram with a bar per distance bucket.
+func (p ReuseProfile) Render(ways int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reuse-distance profile (%d accesses; cold %.1f%%, beyond-depth %.1f%%)\n",
+		p.Total, pct(p.Cold, p.Total), pct(p.Beyond, p.Total))
+	max := uint64(1)
+	for _, v := range p.Hist {
+		if v > max {
+			max = v
+		}
+	}
+	for d, v := range p.Hist {
+		marker := " "
+		if d == ways-1 {
+			marker = "<- associativity"
+		}
+		fmt.Fprintf(&b, "  d=%2d %8d %-40s %s\n", d, v, bar(v, max, 40), marker)
+	}
+	return b.String()
+}
+
+func pct(x, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(x) * 100 / float64(total)
+}
+
+func bar(v, max uint64, width int) string {
+	n := int(v * uint64(width) / max)
+	return strings.Repeat("#", n)
+}
+
+// WorkingSetPoint is one (window, distinct blocks) sample.
+type WorkingSetPoint struct {
+	Window   int
+	Distinct float64
+}
+
+// WorkingSetCurve samples the mean number of distinct blocks touched in
+// sliding windows of the given sizes — the classic working-set function
+// W(T). Windows are sampled at non-overlapping offsets for speed.
+func WorkingSetCurve(blocks []uint64, windows []int) []WorkingSetPoint {
+	out := make([]WorkingSetPoint, 0, len(windows))
+	for _, w := range windows {
+		if w <= 0 || w > len(blocks) {
+			continue
+		}
+		var sum float64
+		samples := 0
+		seen := make(map[uint64]struct{}, w)
+		for start := 0; start+w <= len(blocks); start += w {
+			clear(seen)
+			for _, b := range blocks[start : start+w] {
+				seen[b] = struct{}{}
+			}
+			sum += float64(len(seen))
+			samples++
+		}
+		if samples > 0 {
+			out = append(out, WorkingSetPoint{Window: w, Distinct: sum / float64(samples)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Window < out[j].Window })
+	return out
+}
+
+// RenderWorkingSet prints the working-set curve with the cache capacity
+// marked.
+func RenderWorkingSet(points []WorkingSetPoint, cacheBlocks int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "working-set curve (cache holds %d blocks)\n", cacheBlocks)
+	for _, p := range points {
+		flag := ""
+		if p.Distinct > float64(cacheBlocks) {
+			flag = "  > cache"
+		}
+		fmt.Fprintf(&b, "  W(%8d) = %9.1f blocks%s\n", p.Window, p.Distinct, flag)
+	}
+	return b.String()
+}

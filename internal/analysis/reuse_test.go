@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeReuseValidation(t *testing.T) {
+	if _, err := ComputeReuse(nil, 3, 8); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := ComputeReuse(nil, 4, 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func TestComputeReuseKnownStream(t *testing.T) {
+	// Single set (sets=1): stream A B A B C A.
+	// A: cold. B: cold. A: distance 1. B: distance 1. C: cold.
+	// A: distance 2 (stack C,B,A).
+	blocks := []uint64{10, 11, 10, 11, 12, 10}
+	p, err := ComputeReuse(blocks, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 6 || p.Cold != 3 {
+		t.Fatalf("total=%d cold=%d, want 6/3", p.Total, p.Cold)
+	}
+	if p.Hist[1] != 2 || p.Hist[2] != 1 {
+		t.Errorf("hist = %v, want d1=2 d2=1", p.Hist)
+	}
+}
+
+func TestComputeReuseMRU(t *testing.T) {
+	blocks := []uint64{5, 5, 5}
+	p, err := ComputeReuse(blocks, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hist[0] != 2 || p.Cold != 1 {
+		t.Errorf("hist=%v cold=%d", p.Hist, p.Cold)
+	}
+}
+
+func TestComputeReuseBeyondDepth(t *testing.T) {
+	// Cycle of 5 distinct blocks with depth 2: every re-reference has
+	// distance 4 -> Beyond.
+	var blocks []uint64
+	for cyc := 0; cyc < 3; cyc++ {
+		for b := uint64(0); b < 5; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	p, err := ComputeReuse(blocks, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Beyond != 10 || p.Cold != 5 {
+		t.Errorf("beyond=%d cold=%d, want 10/5", p.Beyond, p.Cold)
+	}
+}
+
+func TestComputeReuseSetsSeparated(t *testing.T) {
+	// With 2 sets, even and odd blocks never interact: re-references of
+	// block 0 have distance 0 regardless of odd traffic between them.
+	blocks := []uint64{0, 1, 3, 5, 0}
+	p, err := ComputeReuse(blocks, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hist[0] != 1 {
+		t.Errorf("hist=%v, want one d=0 re-reference", p.Hist)
+	}
+}
+
+func TestHitRateAtAssociativity(t *testing.T) {
+	p := ReuseProfile{Hist: []uint64{4, 3, 2, 1}, Total: 20, Cold: 10}
+	if got := p.HitRateAtAssociativity(2); got != 0.35 {
+		t.Errorf("hit rate at 2 ways = %v, want 0.35", got)
+	}
+	if got := p.HitRateAtAssociativity(8); got != 0.5 {
+		t.Errorf("hit rate at 8 ways = %v, want 0.5", got)
+	}
+	var z ReuseProfile
+	if z.HitRateAtAssociativity(4) != 0 {
+		t.Error("zero profile divides by zero")
+	}
+}
+
+func TestReuseRender(t *testing.T) {
+	p := ReuseProfile{Hist: []uint64{10, 5}, Total: 20, Cold: 5}
+	out := p.Render(2)
+	if !strings.Contains(out, "associativity") || !strings.Contains(out, "d= 0") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestWorkingSetCurve(t *testing.T) {
+	// 4-block cycle: W(4) = 4, W(8) = 4.
+	var blocks []uint64
+	for cyc := 0; cyc < 8; cyc++ {
+		for b := uint64(0); b < 4; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	pts := WorkingSetCurve(blocks, []int{4, 8, 0, 1 << 20})
+	if len(pts) != 2 {
+		t.Fatalf("%d points (degenerate windows not skipped?)", len(pts))
+	}
+	if pts[0].Window != 4 || pts[0].Distinct != 4 {
+		t.Errorf("W(4) = %+v", pts[0])
+	}
+	if pts[1].Window != 8 || pts[1].Distinct != 4 {
+		t.Errorf("W(8) = %+v", pts[1])
+	}
+	out := RenderWorkingSet(pts, 2)
+	if !strings.Contains(out, "> cache") {
+		t.Errorf("render missing cache marker:\n%s", out)
+	}
+}

@@ -1,0 +1,252 @@
+// Package btb models the branch target buffer: a set-associative
+// structure caching the targets of previously taken branches, with a
+// pluggable replacement policy (the same cache.Policy interface as the
+// I-cache) and the GHRP coupling of §III-E, where BTB dead-entry
+// predictions are made from the I-cache's GHRP metadata and tables at
+// almost no extra storage cost.
+//
+// The BTB uses modulo indexing at instruction granularity, so branches in
+// the same I-cache block map to distinct BTB sets (§III-E, reason 3).
+package btb
+
+import (
+	"fmt"
+
+	"ghrpsim/internal/cache"
+)
+
+// entry is one BTB entry: the branch address it caches a target for.
+type entry struct {
+	pc     uint64
+	target uint64
+	valid  bool
+	// efficiency bookkeeping, mirroring cache frames
+	insertAt  uint64
+	lastUseAt uint64
+	liveTime  uint64
+}
+
+// Stats aggregates BTB outcomes. Misses are what the paper's BTB MPKI
+// counts: taken branches whose target was absent.
+type Stats struct {
+	Accesses         uint64
+	Hits             uint64
+	Misses           uint64
+	Bypasses         uint64
+	Evictions        uint64
+	TargetMismatches uint64 // hits whose stored target differed (indirect branches)
+}
+
+// MPKI returns misses per 1000 of the given instruction count.
+func (s Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(instructions)
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	sets       int
+	ways       int
+	instrShift uint
+	entries    []entry
+	policy     cache.Policy
+	stats      Stats
+	now        uint64
+	warmup     bool
+	born       bool
+	birth      uint64
+}
+
+// New builds a BTB with entries = sets x ways. sets must be a power of
+// two. instrBytes sets the modulo-indexing granularity (typically 4).
+func New(sets, ways int, instrBytes uint64, p cache.Policy) (*BTB, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("btb: sets %d must be a positive power of two", sets)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("btb: ways %d must be positive", ways)
+	}
+	if instrBytes == 0 || instrBytes&(instrBytes-1) != 0 {
+		return nil, fmt.Errorf("btb: instrBytes %d must be a power of two", instrBytes)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("btb: nil policy")
+	}
+	shift := uint(0)
+	for b := instrBytes; b > 1; b >>= 1 {
+		shift++
+	}
+	p.Attach(sets, ways)
+	return &BTB{
+		sets:       sets,
+		ways:       ways,
+		instrShift: shift,
+		entries:    make([]entry, sets*ways),
+		policy:     p,
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (b *BTB) Sets() int { return b.sets }
+
+// Ways returns the associativity.
+func (b *BTB) Ways() int { return b.ways }
+
+// Entries returns the total entry count.
+func (b *BTB) Entries() int { return b.sets * b.ways }
+
+// Policy returns the attached replacement policy.
+func (b *BTB) Policy() cache.Policy { return b.policy }
+
+// SetWarmup toggles warm-up mode: state changes but statistics freeze.
+func (b *BTB) SetWarmup(on bool) { b.warmup = on }
+
+// Stats returns a copy of the accumulated statistics.
+func (b *BTB) Stats() Stats { return b.stats }
+
+// setIndex maps a branch PC to its set by modulo indexing at instruction
+// granularity.
+func (b *BTB) setIndex(pc uint64) int {
+	return int((pc >> b.instrShift) & uint64(b.sets-1))
+}
+
+// key is the policy-facing identifier for a branch: its instruction
+// index, so policies see distinct "blocks" per branch.
+func (b *BTB) key(pc uint64) uint64 { return pc >> b.instrShift }
+
+// Lookup reports whether pc has a BTB entry and its cached target,
+// without modifying any state.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	set := b.setIndex(pc)
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[set*b.ways+w]
+		if e.valid && e.pc == pc {
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+// Access records the execution of a taken branch at pc transferring to
+// target. On a hit the entry's recency and target are refreshed (a
+// target change is counted, as for indirect branches); on a miss a new
+// entry is allocated unless the policy bypasses it. Returns whether the
+// access hit.
+func (b *BTB) Access(pc, target uint64) (hit bool) {
+	set := b.setIndex(pc)
+	a := cache.Access{Block: b.key(pc), PC: pc, Set: set}
+	b.now++
+	if !b.born {
+		b.born = true
+		b.birth = b.now
+	}
+	if !b.warmup {
+		b.stats.Accesses++
+	}
+
+	free := -1
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[set*b.ways+w]
+		if e.valid && e.pc == pc {
+			if !b.warmup {
+				b.stats.Hits++
+				if e.target != target {
+					b.stats.TargetMismatches++
+				}
+			}
+			e.target = target
+			e.lastUseAt = b.now
+			b.policy.OnHit(a, w)
+			return true
+		}
+		if !e.valid && free == -1 {
+			free = w
+		}
+	}
+
+	if !b.warmup {
+		b.stats.Misses++
+	}
+	if free >= 0 {
+		if b.policy.MayBypass(a) {
+			if !b.warmup {
+				b.stats.Bypasses++
+			}
+			b.policy.OnBypass(a)
+			return false
+		}
+		b.install(a, free, pc, target)
+		return false
+	}
+	way, bypass := b.policy.Victim(a)
+	if bypass {
+		if !b.warmup {
+			b.stats.Bypasses++
+		}
+		b.policy.OnBypass(a)
+		return false
+	}
+	if way < 0 || way >= b.ways {
+		panic(fmt.Sprintf("btb: policy %s returned way %d of %d", b.policy.Name(), way, b.ways))
+	}
+	e := &b.entries[set*b.ways+way]
+	if !b.warmup {
+		b.stats.Evictions++
+	}
+	e.liveTime += e.lastUseAt - e.insertAt
+	b.policy.OnEvict(a, way, b.key(e.pc))
+	b.install(a, way, pc, target)
+	return false
+}
+
+func (b *BTB) install(a cache.Access, way int, pc, target uint64) {
+	e := &b.entries[a.Set*b.ways+way]
+	e.pc = pc
+	e.target = target
+	e.valid = true
+	e.insertAt = b.now
+	e.lastUseAt = b.now
+	b.policy.OnInsert(a, way)
+}
+
+// Efficiency returns the per-entry live-time fraction matrix (sets x
+// ways), used for the Fig. 5 heat map.
+func (b *BTB) Efficiency() [][]float64 {
+	out := make([][]float64, b.sets)
+	elapsed := float64(0)
+	if b.born && b.now > b.birth {
+		elapsed = float64(b.now - b.birth)
+	}
+	for s := 0; s < b.sets; s++ {
+		row := make([]float64, b.ways)
+		for w := 0; w < b.ways; w++ {
+			e := &b.entries[s*b.ways+w]
+			live := e.liveTime
+			if e.valid {
+				live += e.lastUseAt - e.insertAt
+			}
+			if elapsed > 0 {
+				row[w] = float64(live) / elapsed
+				if row[w] > 1 {
+					row[w] = 1
+				}
+			}
+		}
+		out[s] = row
+	}
+	return out
+}
+
+// Reset clears contents, statistics, and policy state.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = entry{}
+	}
+	b.stats = Stats{}
+	b.now = 0
+	b.born = false
+	b.warmup = false
+	b.policy.Reset()
+}

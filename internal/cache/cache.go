@@ -1,0 +1,301 @@
+// Package cache implements a generic set-associative cache model with a
+// pluggable replacement policy, optional bypass, and per-frame cache
+// efficiency tracking (the fraction of time a frame holds a live block,
+// after Burger et al., used for the paper's Fig. 1 and Fig. 5 heat maps).
+//
+// The cache is tag-only: it models presence, not contents. Addresses are
+// block numbers (byte address >> log2(blockBytes)); callers decide the
+// granularity.
+package cache
+
+import "fmt"
+
+// Access carries the context of one cache access to the replacement
+// policy. Block is the block number being accessed; PC is the address of
+// the instruction performing the access (for signature-based policies);
+// Set is filled in by the cache.
+type Access struct {
+	Block uint64
+	PC    uint64
+	Set   int
+}
+
+// Policy is a replacement policy plugged into a Cache. The cache drives
+// the policy through the following protocol:
+//
+//	hit:   OnHit(a, way)
+//	miss:  way, bypass := Victim(a)
+//	       if bypass: OnBypass(a)
+//	       else:      OnEvict(a, way, oldTag) if the frame was valid,
+//	                  then OnInsert(a, way)
+//
+// Victim is consulted even when the set has an invalid (empty) frame; the
+// cache passes the empty way through OnInsert without calling Victim in
+// that case, except policies may still bypass via MayBypass.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Attach binds the policy to the cache geometry before first use.
+	Attach(sets, ways int)
+	// OnHit records a hit at (a.Set, way).
+	OnHit(a Access, way int)
+	// Victim chooses the way to evict in a.Set, or reports bypass=true
+	// to keep the incoming block out of the cache entirely.
+	Victim(a Access) (way int, bypass bool)
+	// MayBypass decides, for a miss landing in a set with a free frame,
+	// whether the incoming block should still be bypassed. Policies
+	// without bypass support return false.
+	MayBypass(a Access) bool
+	// OnBypass records that the incoming block was not inserted.
+	OnBypass(a Access)
+	// OnInsert records placement of a.Block at (a.Set, way).
+	OnInsert(a Access, way int)
+	// OnEvict records eviction of evicted from (a.Set, way) to make room.
+	OnEvict(a Access, way int, evicted uint64)
+	// Reset clears all policy state.
+	Reset()
+}
+
+// Stats aggregates cache access outcomes.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Bypasses  uint64
+	Evictions uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MPKI returns misses per 1000 of the given instruction count.
+func (s Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(instructions)
+}
+
+type frame struct {
+	tag   uint64
+	valid bool
+	// efficiency bookkeeping (generation = residency of one block)
+	insertAt  uint64
+	lastUseAt uint64
+	liveTime  uint64 // accumulated live time of completed generations
+	genStart  uint64 // time the current generation began
+}
+
+// Cache is a set-associative, tag-only cache.
+type Cache struct {
+	sets   int
+	ways   int
+	frames []frame
+	policy Policy
+	stats  Stats
+	now    uint64 // logical time: one tick per access
+	warmup bool   // when true, accesses update state but not stats
+	birth  uint64 // time of first access (for efficiency denominators)
+	born   bool
+}
+
+// New builds a cache with the given geometry and policy. sets must be a
+// power of two.
+func New(sets, ways int, p Policy) (*Cache, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: sets %d must be a positive power of two", sets)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: ways %d must be positive", ways)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("cache: nil policy")
+	}
+	p.Attach(sets, ways)
+	return &Cache{
+		sets:   sets,
+		ways:   ways,
+		frames: make([]frame, sets*ways),
+		policy: p,
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// SetWarmup toggles warm-up mode: state changes but statistics freeze.
+func (c *Cache) SetWarmup(on bool) { c.warmup = on }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetIndex maps a block number to its set.
+func (c *Cache) SetIndex(block uint64) int { return int(block & uint64(c.sets-1)) }
+
+func (c *Cache) frame(set, way int) *frame { return &c.frames[set*c.ways+way] }
+
+// Lookup reports whether block is resident, without touching any state.
+func (c *Cache) Lookup(block uint64) bool {
+	set := c.SetIndex(block)
+	for w := 0; w < c.ways; w++ {
+		if f := c.frame(set, w); f.valid && f.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs one cache access with the given context and returns
+// whether it hit. On a miss the block is inserted unless the policy
+// bypasses it.
+func (c *Cache) Access(a Access) (hit bool) {
+	hit, _ = c.AccessEx(a)
+	return hit
+}
+
+// AccessEx is Access but additionally reports whether a missing block was
+// bypassed.
+func (c *Cache) AccessEx(a Access) (hit, bypassed bool) {
+	a.Set = c.SetIndex(a.Block)
+	c.now++
+	if !c.born {
+		c.birth = c.now
+		c.born = true
+	}
+	if !c.warmup {
+		c.stats.Accesses++
+	}
+
+	// Hit path.
+	free := -1
+	for w := 0; w < c.ways; w++ {
+		f := c.frame(a.Set, w)
+		if f.valid && f.tag == a.Block {
+			if !c.warmup {
+				c.stats.Hits++
+			}
+			f.lastUseAt = c.now
+			c.policy.OnHit(a, w)
+			return true, false
+		}
+		if !f.valid && free == -1 {
+			free = w
+		}
+	}
+
+	// Miss path.
+	if !c.warmup {
+		c.stats.Misses++
+	}
+	if free >= 0 {
+		if c.policy.MayBypass(a) {
+			if !c.warmup {
+				c.stats.Bypasses++
+			}
+			c.policy.OnBypass(a)
+			return false, true
+		}
+		c.install(a, free)
+		return false, false
+	}
+	way, bypass := c.policy.Victim(a)
+	if bypass {
+		if !c.warmup {
+			c.stats.Bypasses++
+		}
+		c.policy.OnBypass(a)
+		return false, true
+	}
+	if way < 0 || way >= c.ways {
+		panic(fmt.Sprintf("cache: policy %s returned way %d of %d", c.policy.Name(), way, c.ways))
+	}
+	f := c.frame(a.Set, way)
+	if !c.warmup {
+		c.stats.Evictions++
+	}
+	// Close the evicted generation for efficiency accounting: the block
+	// was live from insertion until its last use.
+	f.liveTime += f.lastUseAt - f.insertAt
+	c.policy.OnEvict(a, way, f.tag)
+	c.install(a, way)
+	return false, false
+}
+
+func (c *Cache) install(a Access, way int) {
+	f := c.frame(a.Set, way)
+	f.tag = a.Block
+	f.valid = true
+	f.insertAt = c.now
+	f.lastUseAt = c.now
+	f.genStart = c.now
+	c.policy.OnInsert(a, way)
+}
+
+// Efficiency returns the per-frame cache efficiency matrix: for each
+// (set, way), the fraction of elapsed time the frame held a live block.
+// A block is live from insertion until its final access before eviction.
+// Frames never filled have efficiency 0.
+func (c *Cache) Efficiency() [][]float64 {
+	out := make([][]float64, c.sets)
+	elapsed := float64(0)
+	if c.born && c.now > c.birth {
+		elapsed = float64(c.now - c.birth)
+	}
+	for s := 0; s < c.sets; s++ {
+		row := make([]float64, c.ways)
+		for w := 0; w < c.ways; w++ {
+			f := c.frame(s, w)
+			live := f.liveTime
+			if f.valid {
+				live += f.lastUseAt - f.insertAt
+			}
+			if elapsed > 0 {
+				row[w] = float64(live) / elapsed
+				if row[w] > 1 {
+					row[w] = 1
+				}
+			}
+		}
+		out[s] = row
+	}
+	return out
+}
+
+// MeanEfficiency averages Efficiency over all frames.
+func (c *Cache) MeanEfficiency() float64 {
+	eff := c.Efficiency()
+	sum, n := 0.0, 0
+	for _, row := range eff {
+		for _, v := range row {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Reset clears cache contents, statistics, and policy state.
+func (c *Cache) Reset() {
+	for i := range c.frames {
+		c.frames[i] = frame{}
+	}
+	c.stats = Stats{}
+	c.now = 0
+	c.born = false
+	c.warmup = false
+	c.policy.Reset()
+}

@@ -1,0 +1,188 @@
+package frontend
+
+import (
+	"testing"
+
+	"ghrpsim/internal/cache"
+	"ghrpsim/internal/opt"
+)
+
+func TestBlockStreamMatchesEngineAccesses(t *testing.T) {
+	recs := testRecords(t, 40_000)
+	cfg := DefaultConfig()
+	blocks, total, err := BlockStream(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) == 0 {
+		t.Fatal("empty block stream")
+	}
+	// The engine with no warm-up must report exactly as many I-cache
+	// accesses as the stream has blocks (same coalescing rule).
+	e, err := NewEngine(cfg, PolicyLRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(recs)
+	if res.ICache.Accesses != uint64(len(blocks)) {
+		t.Errorf("engine accesses %d != stream length %d", res.ICache.Accesses, len(blocks))
+	}
+	if res.TotalInstructions != total {
+		t.Errorf("engine instructions %d != stream total %d", res.TotalInstructions, total)
+	}
+	// No consecutive duplicates (coalescing invariant).
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i] == blocks[i-1] {
+			t.Fatalf("consecutive duplicate block at %d", i)
+		}
+	}
+}
+
+func TestBlockStreamLRUEquivalence(t *testing.T) {
+	// Replaying the block stream through a bare LRU cache must produce
+	// exactly the engine's LRU miss count (no warm-up).
+	recs := testRecords(t, 30_000)
+	cfg := DefaultConfig()
+	blocks, _, err := BlockStream(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cfg, PolicyLRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(recs)
+
+	lru := newBareLRU()
+	c, err := cache.New(cfg.ICache.Sets(), cfg.ICache.Ways, lru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		c.Access(cache.Access{Block: b})
+	}
+	if c.Stats().Misses != res.ICache.Misses {
+		t.Errorf("stream misses %d != engine misses %d", c.Stats().Misses, res.ICache.Misses)
+	}
+}
+
+func TestAccessIndexAt(t *testing.T) {
+	recs := testRecords(t, 30_000)
+	cfg := DefaultConfig()
+	blocks, total, err := BlockStream(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := AccessIndexAt(recs, cfg, total/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half <= 0 || half >= len(blocks) {
+		t.Errorf("half index %d of %d", half, len(blocks))
+	}
+	zero, err := AccessIndexAt(recs, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Errorf("zero warm-up index = %d", zero)
+	}
+	if _, err := AccessIndexAt(recs, Config{InstrBytes: 0, ICache: cfg.ICache}, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestOPTBeatsOnlinePoliciesOnEngineStream(t *testing.T) {
+	// End-to-end: OPT on the reconstructed stream must not miss more
+	// than the engine's LRU or GHRP.
+	recs := testRecords(t, 40_000)
+	cfg := DefaultConfig()
+	blocks, _, err := BlockStream(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ost, err := opt.Simulate(blocks, cfg.ICache.Sets(), cfg.ICache.Ways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []PolicyKind{PolicyLRU, PolicyGHRP} {
+		e, err := NewEngine(cfg, kind, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Run(recs)
+		if ost.Misses > res.ICache.Misses {
+			t.Errorf("OPT misses %d > %v misses %d", ost.Misses, kind, res.ICache.Misses)
+		}
+	}
+}
+
+// bareLRU is a minimal local LRU policy for equivalence tests.
+type bareLRU struct {
+	ways int
+	last []uint64
+	now  uint64
+}
+
+func newBareLRU() *bareLRU { return &bareLRU{} }
+
+func (p *bareLRU) Name() string { return "LRU" }
+func (p *bareLRU) Attach(sets, ways int) {
+	p.ways = ways
+	p.last = make([]uint64, sets*ways)
+}
+func (p *bareLRU) OnHit(a cache.Access, way int) { p.now++; p.last[a.Set*p.ways+way] = p.now }
+func (p *bareLRU) Victim(a cache.Access) (int, bool) {
+	base := a.Set * p.ways
+	best, bestAt := 0, p.last[base]
+	for w := 1; w < p.ways; w++ {
+		if at := p.last[base+w]; at < bestAt {
+			best, bestAt = w, at
+		}
+	}
+	return best, false
+}
+func (p *bareLRU) MayBypass(cache.Access) bool       { return false }
+func (p *bareLRU) OnBypass(cache.Access)             {}
+func (p *bareLRU) OnInsert(a cache.Access, way int)  { p.now++; p.last[a.Set*p.ways+way] = p.now }
+func (p *bareLRU) OnEvict(cache.Access, int, uint64) {}
+func (p *bareLRU) Reset()                            { p.now = 0 }
+
+func TestExtendedPoliciesRun(t *testing.T) {
+	recs := testRecords(t, 20_000)
+	for _, kind := range ExtendedPolicies() {
+		res, err := SimulateRecords(smallConfig(), kind, recs)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.ICache.Accesses == 0 {
+			t.Errorf("%v: no accesses", kind)
+		}
+	}
+	if len(ExtendedPolicies()) != 8 {
+		t.Errorf("extended policies = %d, want 8", len(ExtendedPolicies()))
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e, err := NewEngine(DefaultConfig(), PolicyGHRP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ICache() == nil || e.BTB() == nil || e.ReturnStack() == nil || e.IndirectPredictor() == nil {
+		t.Error("nil accessor")
+	}
+	if e.Instructions() != 0 {
+		t.Error("fresh engine has instructions")
+	}
+	r := Result{CountedInstrs: 1000}
+	r.BTB.Misses = 5
+	r.Branch.Mispredictions = 3
+	r.Branch.Predictions = 10
+	if r.BTBMPKI() != 5 {
+		t.Errorf("BTBMPKI %v", r.BTBMPKI())
+	}
+	if r.BranchMPKI() != 3 {
+		t.Errorf("BranchMPKI %v", r.BranchMPKI())
+	}
+}

@@ -1,0 +1,412 @@
+package frontend
+
+import (
+	"fmt"
+
+	"ghrpsim/internal/btb"
+	"ghrpsim/internal/cache"
+	"ghrpsim/internal/core"
+	"ghrpsim/internal/indirect"
+	"ghrpsim/internal/perceptron"
+	"ghrpsim/internal/policies"
+	"ghrpsim/internal/trace"
+)
+
+// Result reports one simulation's outcome. MPKI values use the counted
+// (post-warm-up) instruction window, matching the paper's methodology.
+type Result struct {
+	Policy            PolicyKind
+	TotalInstructions uint64
+	CountedInstrs     uint64
+	Records           uint64
+	ICache            cache.Stats
+	BTB               btb.Stats
+	Branch            perceptron.Stats
+	RAS               RASStats
+	Indirect          indirect.Stats
+	Prefetch          PrefetchStats
+}
+
+// ICacheMPKI is the I-cache misses per 1000 counted instructions.
+func (r Result) ICacheMPKI() float64 { return r.ICache.MPKI(r.CountedInstrs) }
+
+// BTBMPKI is the BTB misses per 1000 counted instructions.
+func (r Result) BTBMPKI() float64 { return r.BTB.MPKI(r.CountedInstrs) }
+
+// BranchMPKI is conditional mispredictions per 1000 counted instructions.
+func (r Result) BranchMPKI() float64 { return r.Branch.MPKI(r.CountedInstrs) }
+
+// Engine is the trace-driven front-end simulator.
+type Engine struct {
+	cfg     Config
+	kind    PolicyKind
+	icache  *cache.Cache
+	ibtb    *btb.BTB
+	ghrp    *core.ICachePolicy // non-nil only for PolicyGHRP
+	bpred   *perceptron.Predictor
+	ras     *RAS
+	ind     *indirect.Predictor
+	fetcher *trace.Fetcher
+
+	blockShift   uint
+	instrShift   uint
+	warmupLimit  uint64
+	warm         bool // true while warming up
+	instrs       uint64
+	counted      uint64
+	records      uint64
+	pendingWrong []uint64 // scratch for wrong-path injection
+	lastBlock    uint64   // fetch buffer: last I-cache line touched
+	haveLast     bool
+	prefetched   map[uint64]struct{} // prefetched blocks not yet demanded
+	prefStats    PrefetchStats
+}
+
+// PrefetchStats counts next-line prefetcher activity.
+type PrefetchStats struct {
+	Issued uint64 // prefetches that inserted a block
+	Useful uint64 // prefetched blocks later hit by a demand access
+}
+
+// Coverage returns the fraction of issued prefetches that were used.
+func (s PrefetchStats) Coverage() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Useful) / float64(s.Issued)
+}
+
+// NewEngine builds a simulator for the given configuration and
+// replacement policy (applied to both the I-cache and BTB). warmupLimit
+// is the number of leading instructions excluded from statistics; use
+// WarmupFor to derive it from a trace length per the paper's rule.
+func NewEngine(cfg Config, kind PolicyKind, warmupLimit uint64) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if kind >= numPolicies {
+		return nil, fmt.Errorf("frontend: invalid policy kind %d", kind)
+	}
+	e := &Engine{cfg: cfg, kind: kind, warmupLimit: warmupLimit}
+	e.blockShift = shiftOf(uint64(cfg.ICache.BlockBytes))
+	e.instrShift = shiftOf(cfg.InstrBytes)
+
+	icPolicy, err := e.makeICachePolicy()
+	if err != nil {
+		return nil, err
+	}
+	e.icache, err = cache.New(cfg.ICache.Sets(), cfg.ICache.Ways, icPolicy)
+	if err != nil {
+		return nil, err
+	}
+	btbPolicy, err := e.makeBTBPolicy()
+	if err != nil {
+		return nil, err
+	}
+	e.ibtb, err = btb.New(cfg.BTB.Sets(), cfg.BTB.Ways, cfg.InstrBytes, btbPolicy)
+	if err != nil {
+		return nil, err
+	}
+	e.bpred, err = perceptron.New(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	e.fetcher, err = trace.NewFetcher(cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
+	if err != nil {
+		return nil, err
+	}
+	e.ras = NewRAS(32)
+	e.ind, err = indirect.New(indirect.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NextLinePrefetch {
+		e.prefetched = make(map[uint64]struct{}, 1024)
+	}
+	if warmupLimit > 0 {
+		e.warm = true
+		e.icache.SetWarmup(true)
+		e.ibtb.SetWarmup(true)
+	}
+	return e, nil
+}
+
+// WarmupFor derives the warm-up instruction count for a trace of the
+// given length under cfg: half the instructions, capped (§IV-C).
+func (c Config) WarmupFor(totalInstructions uint64) uint64 {
+	w := uint64(float64(totalInstructions) * c.WarmupFraction)
+	if w > c.WarmupCap {
+		w = c.WarmupCap
+	}
+	return w
+}
+
+func (e *Engine) makeICachePolicy() (cache.Policy, error) {
+	switch e.kind {
+	case PolicyLRU:
+		return policies.NewLRU(), nil
+	case PolicyRandom:
+		return policies.NewRandom(e.cfg.RandomSeed), nil
+	case PolicyFIFO:
+		return policies.NewFIFO(), nil
+	case PolicySRRIP:
+		return policies.NewSRRIP(), nil
+	case PolicySDBP:
+		return policies.NewSDBPConfig(e.cfg.SDBP), nil
+	case PolicySHiP:
+		return policies.NewSHiP(), nil
+	case PolicyDIP:
+		return policies.NewDIP(), nil
+	case PolicyGHRP:
+		p, err := core.NewICachePolicy(e.cfg.GHRP)
+		if err != nil {
+			return nil, err
+		}
+		e.ghrp = p
+		return p, nil
+	default:
+		return nil, fmt.Errorf("frontend: unhandled policy %v", e.kind)
+	}
+}
+
+func (e *Engine) makeBTBPolicy() (cache.Policy, error) {
+	switch e.kind {
+	case PolicyLRU:
+		return policies.NewLRU(), nil
+	case PolicyRandom:
+		return policies.NewRandom(e.cfg.RandomSeed + 1), nil
+	case PolicyFIFO:
+		return policies.NewFIFO(), nil
+	case PolicySRRIP:
+		return policies.NewSRRIP(), nil
+	case PolicySDBP:
+		return policies.NewSDBPConfig(e.cfg.SDBP), nil
+	case PolicySHiP:
+		return policies.NewSHiP(), nil
+	case PolicyDIP:
+		return policies.NewDIP(), nil
+	case PolicyGHRP:
+		// The BTB shares the I-cache's predictor and metadata (§III-E).
+		return btb.NewGHRPPolicy(e.ghrp, uint64(e.cfg.ICache.BlockBytes))
+	default:
+		return nil, fmt.Errorf("frontend: unhandled policy %v", e.kind)
+	}
+}
+
+// ICache exposes the simulated I-cache (for efficiency heat maps).
+func (e *Engine) ICache() *cache.Cache { return e.icache }
+
+// BTB exposes the simulated BTB.
+func (e *Engine) BTB() *btb.BTB { return e.ibtb }
+
+// GHRP returns the GHRP I-cache policy, or nil for other policies.
+func (e *Engine) GHRP() *core.ICachePolicy { return e.ghrp }
+
+// BranchPredictor exposes the direction predictor.
+func (e *Engine) BranchPredictor() *perceptron.Predictor { return e.bpred }
+
+// ReturnStack exposes the return address stack.
+func (e *Engine) ReturnStack() *RAS { return e.ras }
+
+// IndirectPredictor exposes the indirect target predictor.
+func (e *Engine) IndirectPredictor() *indirect.Predictor { return e.ind }
+
+// Instructions returns total instructions processed so far.
+func (e *Engine) Instructions() uint64 { return e.instrs }
+
+// Process consumes one branch record: reconstruct the fetch group,
+// access the I-cache per block, predict and train the direction
+// predictor, access the BTB for taken branches, and manage speculative
+// history.
+func (e *Engine) Process(r trace.Record) {
+	e.records++
+	preWarm := e.warm
+
+	// Fetch-group reconstruction: each distinct block is one I-cache
+	// access whose PC is the first instruction fetched in that block.
+	startPC := e.fetcher.PC()
+	first := true
+	n := e.fetcher.Next(r, func(block uint64, _ int) {
+		// Fetch-buffer coalescing: consecutive fetch groups from the
+		// same cache line (sequential fall-through past a not-taken
+		// branch, or a short taken branch within the line) read the
+		// fetch buffer, not the I-cache. Without this, dense basic
+		// blocks would count several I-cache accesses per line and
+		// streaming lines would look "reused".
+		if e.haveLast && block == e.lastBlock {
+			return
+		}
+		e.lastBlock, e.haveLast = block, true
+		pc := block << e.blockShift
+		if first {
+			// A mid-block fetch begins at the branch target, not the
+			// block base; signatures must see the real entry point.
+			if startPC != 0 && startPC>>e.blockShift == block {
+				pc = startPC
+			} else if startPC == 0 {
+				pc = r.PC
+			}
+			first = false
+		}
+		e.access(block, pc)
+	})
+	e.instrs += n
+	if !e.warm {
+		e.counted += n
+	}
+
+	// Direction prediction for conditional branches; other transfers
+	// contribute to path history only.
+	if r.Type.Conditional() {
+		o := e.bpred.Predict(r.PC)
+		mispredicted := o.Taken != r.Taken
+		e.bpred.Update(o, r.PC, r.Taken)
+		if mispredicted && e.cfg.WrongPath != WrongPathOff {
+			e.injectWrongPath(r)
+		}
+	} else {
+		e.bpred.PushUnconditional(r.PC)
+	}
+
+	// BTB access for taken branches that use it.
+	if r.Taken && r.Type.UsesBTB() {
+		e.ibtb.Access(r.PC, r.Target)
+	}
+
+	// Return address stack and indirect target prediction: calls push
+	// their return address, returns pop and score it, and indirect
+	// transfers consult the ITTAGE-style target predictor (the paper's
+	// §VI future-work interaction).
+	switch r.Type {
+	case trace.DirectCall, trace.IndirectCall:
+		e.ras.Push(r.FallThrough(e.cfg.InstrBytes))
+	case trace.Return:
+		e.ras.Pop(r.Target)
+	}
+	if r.Type == trace.IndirectCall || r.Type == trace.IndirectJump {
+		o := e.ind.Predict(r.PC)
+		e.ind.Update(o, r.PC, r.Target)
+	}
+
+	// Warm-up boundary: flip statistics on once crossed.
+	if preWarm && e.instrs >= e.warmupLimit {
+		e.warm = false
+		e.icache.SetWarmup(false)
+		e.ibtb.SetWarmup(false)
+		e.bpred.ResetStats()
+		e.ras.ResetStats()
+		e.ind.ResetStats()
+	}
+}
+
+// access performs one I-cache access and mirrors the retired GHRP path
+// history (right-path accesses commit immediately in a trace-driven
+// simulation). With next-line prefetching enabled, a demand miss also
+// installs the following block; prefetch fills do not count as demand
+// traffic.
+func (e *Engine) access(block, pc uint64) {
+	hit, _ := e.icache.AccessEx(cache.Access{Block: block, PC: pc})
+	if e.ghrp != nil {
+		e.ghrp.History().Commit(pc)
+	}
+	if e.prefetched != nil {
+		if hit {
+			if _, ok := e.prefetched[block]; ok {
+				delete(e.prefetched, block)
+				if !e.warm {
+					e.prefStats.Useful++
+				}
+			}
+		} else {
+			next := block + 1
+			if !e.icache.Lookup(next) {
+				if !e.warm {
+					e.icache.SetWarmup(true)
+				}
+				_, bypassed := e.icache.AccessEx(cache.Access{Block: next, PC: next << e.blockShift})
+				if !e.warm {
+					e.icache.SetWarmup(false)
+					if !bypassed {
+						e.prefStats.Issued++
+					}
+				}
+				if !bypassed {
+					// Bound the pending set; stale entries only affect
+					// the usefulness statistic, not simulation state.
+					if len(e.prefetched) > 1<<16 {
+						clear(e.prefetched)
+					}
+					e.prefetched[next] = struct{}{}
+				}
+			}
+		}
+	}
+}
+
+// injectWrongPath models wrong-path fetch after a conditional
+// misprediction: a few sequential blocks from the not-executed path are
+// fetched, polluting the I-cache and GHRP's speculative history; then
+// the speculative history is restored from the retired history (§III-F),
+// unless recovery is disabled for the ablation.
+func (e *Engine) injectWrongPath(r trace.Record) {
+	wrongPC := r.Target
+	if r.Taken {
+		wrongPC = r.FallThrough(e.cfg.InstrBytes)
+	}
+	e.pendingWrong = e.pendingWrong[:0]
+	base := wrongPC >> e.blockShift
+	for i := 0; i < e.cfg.WrongPathDepth; i++ {
+		e.pendingWrong = append(e.pendingWrong, base+uint64(i))
+	}
+	// Wrong-path accesses change cache and history state but are not
+	// demand misses; exclude them from statistics.
+	if !e.warm {
+		e.icache.SetWarmup(true)
+	}
+	for i, b := range e.pendingWrong {
+		pc := b << e.blockShift
+		if i == 0 {
+			pc = wrongPC
+		}
+		e.icache.Access(cache.Access{Block: b, PC: pc})
+	}
+	if !e.warm {
+		e.icache.SetWarmup(false)
+	}
+	if e.ghrp != nil && e.cfg.WrongPath == WrongPathInject {
+		e.ghrp.History().Recover()
+	}
+}
+
+// Run processes a record slice and returns the result.
+func (e *Engine) Run(recs []trace.Record) Result {
+	for _, r := range recs {
+		e.Process(r)
+	}
+	return e.Result()
+}
+
+// Result snapshots the current statistics.
+func (e *Engine) Result() Result {
+	counted := e.counted
+	return Result{
+		Policy:            e.kind,
+		TotalInstructions: e.instrs,
+		CountedInstrs:     counted,
+		Records:           e.records,
+		ICache:            e.icache.Stats(),
+		BTB:               e.ibtb.Stats(),
+		Branch:            e.bpred.Stats(),
+		RAS:               e.ras.Stats(),
+		Indirect:          e.ind.Stats(),
+		Prefetch:          e.prefStats,
+	}
+}
+
+func shiftOf(v uint64) uint {
+	s := uint(0)
+	for ; v > 1; v >>= 1 {
+		s++
+	}
+	return s
+}

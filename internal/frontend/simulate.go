@@ -1,0 +1,64 @@
+package frontend
+
+import (
+	"ghrpsim/internal/trace"
+	"ghrpsim/internal/workload"
+)
+
+// CountInstructions walks a record slice with a fetch reconstructor and
+// returns the total instruction count it implies.
+func CountInstructions(recs []trace.Record, instrBytes, blockBytes uint64) (uint64, error) {
+	f, err := trace.NewFetcher(instrBytes, blockBytes)
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for _, r := range recs {
+		total += f.Next(r, nil)
+	}
+	return total, nil
+}
+
+// SimulateRecords runs one policy over a pre-generated record slice,
+// deriving the warm-up window from the records themselves.
+func SimulateRecords(cfg Config, kind PolicyKind, recs []trace.Record) (Result, error) {
+	total, err := CountInstructions(recs, cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
+	if err != nil {
+		return Result{}, err
+	}
+	e, err := NewEngine(cfg, kind, cfg.WarmupFor(total))
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(recs), nil
+}
+
+// SimulateProgram executes a synthesized program for target instructions,
+// streaming records straight into a fresh engine (no intermediate record
+// buffer). The warm-up window is derived from the target.
+func SimulateProgram(cfg Config, kind PolicyKind, prog *workload.Program, seed, target uint64) (Result, error) {
+	e, err := NewEngine(cfg, kind, cfg.WarmupFor(target))
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := workload.Emit(prog, seed, target, func(r trace.Record) error {
+		e.Process(r)
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	return e.Result(), nil
+}
+
+// GenerateRecords executes a program once and returns its record stream,
+// so many policies can replay the identical trace.
+func GenerateRecords(prog *workload.Program, seed, target uint64) ([]trace.Record, error) {
+	recs := make([]trace.Record, 0, target/8)
+	if _, err := workload.Emit(prog, seed, target, func(r trace.Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,131 @@
+// Package opt implements Belady's optimal replacement (OPT/MIN) as an
+// offline oracle: given the full future access stream, evict the block
+// whose next use is farthest away. OPT bounds what any replacement
+// policy — predictive or not — can achieve on a trace, so experiments can
+// report how much of the LRU-to-OPT headroom each policy closes.
+package opt
+
+import "fmt"
+
+// Stats mirrors the online cache statistics for the oracle.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MPKI returns misses per 1000 of the given instruction count.
+func (s Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(instructions)
+}
+
+const never = int(^uint(0) >> 1) // sentinel: block is not used again
+
+// Simulate runs Belady's algorithm over a block-number access stream on
+// a sets x ways cache. skip accesses at the head are warm-up: they update
+// cache state but are not counted. sets must be a power of two.
+func Simulate(blocks []uint64, sets, ways int, skip int) (Stats, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return Stats{}, fmt.Errorf("opt: sets %d must be a positive power of two", sets)
+	}
+	if ways <= 0 {
+		return Stats{}, fmt.Errorf("opt: ways %d must be positive", ways)
+	}
+	if skip < 0 {
+		skip = 0
+	}
+
+	// next[i] = index of the next access to blocks[i], or never.
+	next := make([]int, len(blocks))
+	last := make(map[uint64]int, 1024)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if j, ok := last[blocks[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = never
+		}
+		last[blocks[i]] = i
+	}
+
+	type frame struct {
+		block   uint64
+		nextUse int
+		valid   bool
+	}
+	frames := make([]frame, sets*ways)
+	var st Stats
+	mask := uint64(sets - 1)
+
+	for i, b := range blocks {
+		set := int(b & mask)
+		base := set * ways
+		counted := i >= skip
+		if counted {
+			st.Accesses++
+		}
+
+		hitWay, freeWay, farWay := -1, -1, base
+		for w := base; w < base+ways; w++ {
+			f := &frames[w]
+			if f.valid && f.block == b {
+				hitWay = w
+				break
+			}
+			if !f.valid {
+				if freeWay == -1 {
+					freeWay = w
+				}
+				continue
+			}
+			if frames[farWay].valid && f.nextUse > frames[farWay].nextUse {
+				farWay = w
+			}
+		}
+
+		switch {
+		case hitWay >= 0:
+			if counted {
+				st.Hits++
+			}
+			frames[hitWay].nextUse = next[i]
+		default:
+			if counted {
+				st.Misses++
+			}
+			// OPT refinement (bypass form): if the incoming block's next
+			// use is farther than every resident's, not caching it at all
+			// is optimal; only insert when a frame is free.
+			w := freeWay
+			if w == -1 {
+				if next[i] >= frames[farWay].nextUse {
+					continue
+				}
+				w = farWay
+			}
+			frames[w] = frame{block: b, nextUse: next[i], valid: true}
+		}
+	}
+	return st, nil
+}
+
+// Headroom summarizes how much of the LRU-to-OPT miss gap a policy
+// closes: 0 means no better than LRU, 1 means optimal, negative means
+// worse than LRU.
+func Headroom(lruMPKI, policyMPKI, optMPKI float64) float64 {
+	gap := lruMPKI - optMPKI
+	if gap <= 0 {
+		return 0
+	}
+	return (lruMPKI - policyMPKI) / gap
+}

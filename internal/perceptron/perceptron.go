@@ -1,0 +1,221 @@
+// Package perceptron implements the hashed perceptron branch direction
+// predictor the paper uses in its simulation infrastructure (§II-D,
+// §IV-A): a merge of gshare-style hashed indexing, path-based indexing,
+// and the perceptron's weight-summation, as described by Tarjan and
+// Skadron. Each of several weight tables is indexed by a hash of the
+// branch PC with a different-length segment of global history and the
+// path of recent branch addresses; the prediction is the sign of the
+// weight sum, and training adjusts weights when the prediction was wrong
+// or the sum's magnitude is below a threshold.
+package perceptron
+
+import "fmt"
+
+// Config parameterizes the predictor. Zero values select defaults sized
+// like the CBP reference predictor.
+type Config struct {
+	// TableBits is the log2 size of each weight table. Default 12.
+	TableBits int
+	// HistoryLengths gives each table's global-history segment length in
+	// branches; a length of 0 makes the table a PC-indexed bias table.
+	// Default {0, 3, 6, 12, 20, 32, 48, 64}.
+	HistoryLengths []int
+	// WeightMax is the saturating weight magnitude. Default 127 (8-bit).
+	WeightMax int
+	// ThetaOverride fixes the training threshold; 0 derives the
+	// perceptron paper's 1.93*h + 14 from the longest history.
+	ThetaOverride int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TableBits == 0 {
+		c.TableBits = 12
+	}
+	if len(c.HistoryLengths) == 0 {
+		c.HistoryLengths = []int{0, 3, 6, 12, 20, 32, 48, 64}
+	}
+	if c.WeightMax == 0 {
+		c.WeightMax = 127
+	}
+	if c.ThetaOverride == 0 {
+		longest := 0
+		for _, h := range c.HistoryLengths {
+			if h > longest {
+				longest = h
+			}
+		}
+		c.ThetaOverride = int(1.93*float64(longest)) + 14
+	}
+	return c
+}
+
+// Validate rejects configurations that cannot be built.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.TableBits < 4 || c.TableBits > 22 {
+		return fmt.Errorf("perceptron: TableBits %d out of range [4,22]", c.TableBits)
+	}
+	for _, h := range c.HistoryLengths {
+		if h < 0 || h > 64 {
+			return fmt.Errorf("perceptron: history length %d out of range [0,64]", h)
+		}
+	}
+	if c.WeightMax < 1 || c.WeightMax > 1<<14 {
+		return fmt.Errorf("perceptron: WeightMax %d out of range", c.WeightMax)
+	}
+	return nil
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	Predictions    uint64
+	Mispredictions uint64
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (s Stats) Accuracy() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return 1 - float64(s.Mispredictions)/float64(s.Predictions)
+}
+
+// MPKI returns mispredictions per 1000 of the given instruction count.
+func (s Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Mispredictions) * 1000 / float64(instructions)
+}
+
+// Predictor is a hashed perceptron branch direction predictor.
+type Predictor struct {
+	cfg    Config
+	tables [][]int16
+	mask   uint64
+	ghr    uint64 // global outcome history, newest bit in bit 0
+	path   uint64 // folded path history of branch PCs
+	theta  int32
+	stats  Stats
+}
+
+// New builds a predictor; the configuration is validated first.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	p := &Predictor{
+		cfg:   cfg,
+		mask:  uint64(1)<<cfg.TableBits - 1,
+		theta: int32(cfg.ThetaOverride),
+	}
+	p.tables = make([][]int16, len(cfg.HistoryLengths))
+	for t := range p.tables {
+		p.tables[t] = make([]int16, 1<<cfg.TableBits)
+	}
+	return p, nil
+}
+
+// Outcome carries one prediction's working state from Predict to Update.
+type Outcome struct {
+	Taken   bool
+	Sum     int32
+	indices []uint64
+}
+
+// index hashes the PC with a history segment and the path register for
+// one table. Tables with different history lengths see decorrelated
+// hashes, which is the essence of "hashed perceptron".
+func (p *Predictor) index(t int, pc uint64) uint64 {
+	hlen := p.cfg.HistoryLengths[t]
+	var seg uint64
+	if hlen > 0 {
+		if hlen >= 64 {
+			seg = p.ghr
+		} else {
+			seg = p.ghr & (uint64(1)<<hlen - 1)
+		}
+	}
+	h := pc >> 2
+	h ^= seg * 0x9E3779B97F4A7C15
+	if hlen > 0 {
+		h ^= p.path * uint64(t*2+1)
+	}
+	h ^= h >> 29
+	h ^= uint64(t) << 7 // decorrelate tables with equal inputs
+	return h & p.mask
+}
+
+// Predict returns the predicted direction for a conditional branch at pc.
+func (p *Predictor) Predict(pc uint64) Outcome {
+	o := Outcome{indices: make([]uint64, len(p.tables))}
+	for t := range p.tables {
+		o.indices[t] = p.index(t, pc)
+		o.Sum += int32(p.tables[t][o.indices[t]])
+	}
+	o.Taken = o.Sum >= 0
+	return o
+}
+
+// Update trains the predictor with the actual outcome of the branch
+// predicted by o, then advances the global and path histories. Call
+// exactly once per Predict, in program order.
+func (p *Predictor) Update(o Outcome, pc uint64, taken bool) {
+	p.stats.Predictions++
+	mispredicted := o.Taken != taken
+	if mispredicted {
+		p.stats.Mispredictions++
+	}
+	mag := o.Sum
+	if mag < 0 {
+		mag = -mag
+	}
+	if mispredicted || mag <= p.theta {
+		for t := range p.tables {
+			w := int32(p.tables[t][o.indices[t]])
+			if taken {
+				if w < int32(p.cfg.WeightMax) {
+					w++
+				}
+			} else if w > -int32(p.cfg.WeightMax) {
+				w--
+			}
+			p.tables[t][o.indices[t]] = int16(w)
+		}
+	}
+	p.pushHistory(pc, taken)
+}
+
+// PushUnconditional folds an always-taken control transfer (call, jump,
+// return) into the path history without consuming a direction slot; many
+// front ends include these in path history to sharpen indexing.
+func (p *Predictor) PushUnconditional(pc uint64) {
+	p.path = p.path<<3 ^ (pc >> 2)
+}
+
+func (p *Predictor) pushHistory(pc uint64, taken bool) {
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+	p.path = p.path<<3 ^ (pc >> 2)
+}
+
+// Stats returns the accumulated prediction statistics.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+// ResetStats clears statistics (e.g. at the end of warm-up) while keeping
+// the learned weights.
+func (p *Predictor) ResetStats() { p.stats = Stats{} }
+
+// Reset clears weights, histories and statistics.
+func (p *Predictor) Reset() {
+	for t := range p.tables {
+		for i := range p.tables[t] {
+			p.tables[t][i] = 0
+		}
+	}
+	p.ghr, p.path = 0, 0
+	p.stats = Stats{}
+}

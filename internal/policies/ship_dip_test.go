@@ -1,0 +1,180 @@
+package policies
+
+import (
+	"testing"
+
+	"ghrpsim/internal/cache"
+)
+
+func TestSHiPLearnsDeadSignature(t *testing.T) {
+	p := NewSHiP()
+	c := mustCache(t, 1, 2, p)
+	// Signature 'deadPC' inserts blocks that die without reuse: its SHCT
+	// counter must fall to zero, and subsequent insertions land at the
+	// distant RRPV (immediately evictable).
+	deadPC := uint64(0x4000)
+	for i := 0; i < 64; i++ {
+		c.Access(cache.Access{Block: 10 + uint64(i)%8, PC: deadPC})
+	}
+	if got := p.SHCTCounter(deadPC); got != 0 {
+		t.Errorf("dead signature counter = %d, want 0", got)
+	}
+	// A reused signature's counter must rise.
+	livePC := uint64(0x8000)
+	for i := 0; i < 64; i++ {
+		c.Access(cache.Access{Block: 500, PC: livePC})
+	}
+	if got := p.SHCTCounter(livePC); got == 0 {
+		t.Error("reused signature counter stayed 0")
+	}
+}
+
+func TestSHiPDistantInsertionEvictsFirst(t *testing.T) {
+	p := NewSHiP()
+	c := mustCache(t, 2, 2, p)
+	livePC, deadPC := uint64(0x9000), uint64(0x4000)
+	// Raise livePC's SHCT counter with a reused generation in set 0.
+	c.Access(cache.Access{Block: 0, PC: livePC})
+	c.Access(cache.Access{Block: 0, PC: livePC})
+	if p.SHCTCounter(livePC) == 0 {
+		t.Fatal("live signature not trained")
+	}
+	// Set 1: block 1 inserted via the live signature (long RRPV), block
+	// 3 via the untrained dead signature (distant RRPV). The next miss
+	// must evict the dead-signature block.
+	c.Access(cache.Access{Block: 1, PC: livePC})
+	c.Access(cache.Access{Block: 3, PC: deadPC})
+	c.Access(cache.Access{Block: 5, PC: livePC})
+	if !c.Lookup(1) {
+		t.Error("SHiP evicted the live-signature block")
+	}
+	if c.Lookup(3) {
+		t.Error("dead-signature block survived")
+	}
+}
+
+func TestSHiPOutcomeCountedOncePerGeneration(t *testing.T) {
+	p := NewSHiP()
+	p.Attach(1, 2)
+	a := cache.Access{Block: 1, PC: 0x40, Set: 0}
+	p.OnInsert(a, 0)
+	for i := 0; i < 10; i++ {
+		p.OnHit(a, 0)
+	}
+	if got := p.SHCTCounter(0x40); got != 1 {
+		t.Errorf("counter = %d after one generation with many hits, want 1", got)
+	}
+}
+
+func TestSHiPSamplerRestriction(t *testing.T) {
+	p := NewSHiPConfig(SHiPConfig{SamplerSets: 1})
+	p.Attach(4, 2)
+	// Set 2 is unsampled: generations there must not train the SHCT.
+	a := cache.Access{Block: 2, PC: 0x40, Set: 2}
+	p.OnInsert(a, 0)
+	p.OnHit(a, 0)
+	if got := p.SHCTCounter(0x40); got != 0 {
+		t.Errorf("unsampled set trained SHCT to %d", got)
+	}
+	// Set 0 is sampled.
+	b := cache.Access{Block: 0, PC: 0x40, Set: 0}
+	p.OnInsert(b, 0)
+	p.OnHit(b, 0)
+	if got := p.SHCTCounter(0x40); got != 1 {
+		t.Errorf("sampled set counter = %d, want 1", got)
+	}
+}
+
+func TestSHiPReset(t *testing.T) {
+	p := NewSHiP()
+	p.Attach(1, 2)
+	a := cache.Access{Block: 1, PC: 0x40, Set: 0}
+	p.OnInsert(a, 0)
+	p.OnHit(a, 0)
+	p.Reset()
+	if p.SHCTCounter(0x40) != 0 {
+		t.Error("Reset left SHCT state")
+	}
+}
+
+func TestDIPLeaderSetsSplit(t *testing.T) {
+	p := NewDIP()
+	p.Attach(128, 8)
+	kinds := map[int]int{}
+	for s := 0; s < 128; s++ {
+		kinds[p.setKind(s)]++
+	}
+	if kinds[0] == 0 || kinds[1] == 0 {
+		t.Fatalf("leader sets missing: %v", kinds)
+	}
+	if kinds[0] != kinds[1] {
+		t.Errorf("unbalanced leaders: %v", kinds)
+	}
+	if kinds[2] < 100 {
+		t.Errorf("too few followers: %v", kinds)
+	}
+}
+
+func TestDIPSelectorLearnsThrash(t *testing.T) {
+	// A cyclic working set larger than the cache: BIP leaders keep
+	// hitting part of it, LRU leaders miss everything, so the selector
+	// must move toward BIP.
+	p := NewDIP()
+	c := mustCache(t, 16, 2, p) // 32 blocks
+	for cyc := 0; cyc < 300; cyc++ {
+		for b := uint64(0); b < 64; b++ {
+			c.Access(cache.Access{Block: b})
+		}
+	}
+	if !p.UsingBIP() {
+		t.Error("DIP selector did not choose BIP under thrash")
+	}
+}
+
+func TestDIPSelectorPrefersLRUOnRecencyFriendlyStream(t *testing.T) {
+	p := NewDIP()
+	c := mustCache(t, 16, 2, p)
+	// Small working set reused constantly: both leaders hit after
+	// warm-up, selector stays near initialization; followers behave
+	// sanely either way, but misses must be near zero.
+	for cyc := 0; cyc < 200; cyc++ {
+		for b := uint64(0); b < 16; b++ {
+			c.Access(cache.Access{Block: b})
+		}
+	}
+	if rate := c.Stats().MissRate(); rate > 0.05 {
+		t.Errorf("miss rate %.3f on fitting working set", rate)
+	}
+}
+
+func TestDIPBIPInsertionLandsAtLRU(t *testing.T) {
+	p := NewDIPConfig(DIPConfig{Epsilon: 1 << 30}) // never MRU-insert
+	p.Attach(4, 2)
+	// Find a BIP leader set.
+	bipSet := -1
+	for s := 0; s < 4; s++ {
+		if p.setKind(s) == 1 {
+			bipSet = s
+			break
+		}
+	}
+	if bipSet < 0 {
+		t.Skip("no BIP leader in 4 sets")
+	}
+	// Insert A normally via OnInsert (BIP -> LRU position), then insert
+	// B; a subsequent victim request must pick A's way... both are at
+	// minimal timestamps, so just assert the first way has not become
+	// MRU.
+	p.OnInsert(cache.Access{Block: 1, Set: bipSet}, 0)
+	p.OnHit(cache.Access{Block: 1, Set: bipSet}, 1) // make way 1 MRU
+	w, bypass := p.Victim(cache.Access{Block: 9, Set: bipSet})
+	if bypass || w != 0 {
+		t.Errorf("Victim = (%d, %v), want BIP-inserted way 0", w, bypass)
+	}
+}
+
+func TestExtendedPolicyNames(t *testing.T) {
+	if NewSHiP().Name() != "SHiP" || NewDIP().Name() != "DIP" {
+		t.Error("extended policy names wrong")
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"ghrpsim/internal/core"
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/stats"
+)
+
+// AblationRow is one GHRP variant's mean MPKI for both structures.
+type AblationRow struct {
+	Variant    string
+	ICacheMPKI float64
+	BTBMPKI    float64
+}
+
+// ghrpVariant runs the suite with only the GHRP policy under a modified
+// configuration and returns the mean MPKIs.
+func ghrpVariant(base Options, name string, mutate func(*frontend.Config)) (AblationRow, error) {
+	opts := base
+	if opts.Config.ICache == (frontend.ICacheConfig{}) {
+		opts.Config = frontend.DefaultConfig()
+	}
+	mutate(&opts.Config)
+	opts.Policies = []frontend.PolicyKind{frontend.PolicyGHRP}
+	m, err := Run(opts)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Variant:    name,
+		ICacheMPKI: stats.Mean(m.ICacheMPKI[frontend.PolicyGHRP]),
+		BTBMPKI:    stats.Mean(m.BTBMPKI[frontend.PolicyGHRP]),
+	}, nil
+}
+
+// runVariants evaluates a list of named configuration mutations.
+func runVariants(base Options, variants []struct {
+	name   string
+	mutate func(*frontend.Config)
+}) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		row, err := ghrpVariant(base, v.name, v.mutate)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationVote compares majority vote against SDBP-style summation
+// (§III-C's design argument).
+func AblationVote(base Options) ([]AblationRow, error) {
+	return runVariants(base, []struct {
+		name   string
+		mutate func(*frontend.Config)
+	}{
+		{"majority-vote", func(c *frontend.Config) { c.GHRP.Aggregation = core.MajorityVote }},
+		{"summation", func(c *frontend.Config) { c.GHRP.Aggregation = core.Summation }},
+	})
+}
+
+// AblationHistoryDepth varies how many previous accesses the path
+// history records (0 = PC-only signatures, the PC-based-predictor
+// degenerate case).
+func AblationHistoryDepth(base Options) ([]AblationRow, error) {
+	type depth struct {
+		name string
+		bits int
+		pcB  int
+	}
+	depths := []depth{
+		{"depth-0 (PC only)", 16, 0},
+		{"depth-1", 4, 3},
+		{"depth-2", 8, 3},
+		{"depth-3", 12, 3},
+		{"depth-4 (paper)", 16, 3},
+	}
+	var variants []struct {
+		name   string
+		mutate func(*frontend.Config)
+	}
+	for _, d := range depths {
+		d := d
+		variants = append(variants, struct {
+			name   string
+			mutate func(*frontend.Config)
+		}{d.name, func(c *frontend.Config) {
+			c.GHRP.HistoryBits = d.bits
+			if d.pcB == 0 {
+				c.GHRP.PCBitsPerAccess = -1 // PC-only signatures
+			}
+		}})
+	}
+	return runVariants(base, variants)
+}
+
+// AblationBypass compares GHRP with and without the bypass optimization.
+func AblationBypass(base Options) ([]AblationRow, error) {
+	return runVariants(base, []struct {
+		name   string
+		mutate func(*frontend.Config)
+	}{
+		{"bypass-on (paper)", func(c *frontend.Config) { c.GHRP.DisableBypass = false }},
+		{"bypass-off", func(c *frontend.Config) { c.GHRP.DisableBypass = true }},
+	})
+}
+
+// AblationSpeculation compares wrong-path handling: no wrong path
+// modeled, pollution with history recovery (§III-F), and pollution
+// without recovery.
+func AblationSpeculation(base Options) ([]AblationRow, error) {
+	return runVariants(base, []struct {
+		name   string
+		mutate func(*frontend.Config)
+	}{
+		{"no-wrong-path", func(c *frontend.Config) { c.WrongPath = frontend.WrongPathOff }},
+		{"pollute+recover (paper)", func(c *frontend.Config) {
+			c.WrongPath = frontend.WrongPathInject
+			if c.WrongPathDepth == 0 {
+				c.WrongPathDepth = 2
+			}
+		}},
+		{"pollute, no recovery", func(c *frontend.Config) {
+			c.WrongPath = frontend.WrongPathNoRecover
+			if c.WrongPathDepth == 0 {
+				c.WrongPathDepth = 2
+			}
+		}},
+	})
+}
+
+// AblationTableCount compares a single prediction table against the
+// paper's three skewed tables.
+func AblationTableCount(base Options) ([]AblationRow, error) {
+	return runVariants(base, []struct {
+		name   string
+		mutate func(*frontend.Config)
+	}{
+		{"1 table", func(c *frontend.Config) { c.GHRP.NumTables = 1 }},
+		{"2 tables", func(c *frontend.Config) { c.GHRP.NumTables = 2 }},
+		{"3 tables (paper)", func(c *frontend.Config) { c.GHRP.NumTables = 3 }},
+		{"5 tables", func(c *frontend.Config) { c.GHRP.NumTables = 5 }},
+	})
+}
+
+// AblationPrefetch measures next-line prefetching composed with LRU and
+// GHRP replacement — the prior-work direction the paper contrasts with
+// (§II-E).
+func AblationPrefetch(base Options) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, 4)
+	for _, v := range []struct {
+		name     string
+		kind     frontend.PolicyKind
+		prefetch bool
+	}{
+		{"LRU", frontend.PolicyLRU, false},
+		{"LRU + next-line", frontend.PolicyLRU, true},
+		{"GHRP", frontend.PolicyGHRP, false},
+		{"GHRP + next-line", frontend.PolicyGHRP, true},
+	} {
+		opts := base
+		if opts.Config.ICache == (frontend.ICacheConfig{}) {
+			opts.Config = frontend.DefaultConfig()
+		}
+		opts.Config.NextLinePrefetch = v.prefetch
+		opts.Policies = []frontend.PolicyKind{v.kind}
+		m, err := Run(opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant:    v.name,
+			ICacheMPKI: stats.Mean(m.ICacheMPKI[v.kind]),
+			BTBMPKI:    stats.Mean(m.BTBMPKI[v.kind]),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblation prints ablation rows.
+func RenderAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s\n", title)
+	fmt.Fprintf(&b, "  %-24s %12s %12s\n", "variant", "icache MPKI", "BTB MPKI")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-24s %12.3f %12.3f\n", r.Variant, r.ICacheMPKI, r.BTBMPKI)
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+// Package sim is the experiment harness: it runs the workload suite
+// across replacement policies and cache configurations in parallel, and
+// defines one experiment per table and figure of the paper's evaluation
+// section, each regenerating the corresponding rows or series.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/workload"
+)
+
+// Options configures a suite run.
+type Options struct {
+	// Workloads to simulate; defaults to the full 662-workload suite.
+	Workloads []workload.Spec
+	// Config is the front-end configuration; defaults to the paper's.
+	Config frontend.Config
+	// Policies to evaluate; defaults to the paper's five.
+	Policies []frontend.PolicyKind
+	// Scale multiplies each workload's default instruction budget;
+	// defaults to 1.0.
+	Scale float64
+	// Parallelism bounds concurrent workloads; defaults to GOMAXPROCS.
+	Parallelism int
+	// ExecSeed seeds workload execution (fixed across policies so every
+	// policy replays the identical trace).
+	ExecSeed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workloads == nil {
+		o.Workloads = workload.Suite()
+	}
+	if o.Config.ICache == (frontend.ICacheConfig{}) {
+		o.Config = frontend.DefaultConfig()
+	}
+	if o.Policies == nil {
+		o.Policies = frontend.PaperPolicies()
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.ExecSeed == 0 {
+		o.ExecSeed = 1
+	}
+	return o
+}
+
+// WorkloadResult holds one workload's results across policies, indexed
+// like Options.Policies.
+type WorkloadResult struct {
+	Spec    workload.Spec
+	Results []frontend.Result
+}
+
+// Measurements is a suite run's full outcome: per-policy MPKI vectors
+// over the workloads, for both structures, plus branch predictor MPKI.
+// Vectors are indexed by workload position.
+type Measurements struct {
+	Options    Options
+	Specs      []workload.Spec
+	Policies   []frontend.PolicyKind
+	ICacheMPKI map[frontend.PolicyKind][]float64
+	BTBMPKI    map[frontend.PolicyKind][]float64
+	BranchMPKI []float64
+	Raw        []WorkloadResult
+}
+
+// PolicyIndex returns the position of kind in the run's policy list.
+func (m *Measurements) PolicyIndex(kind frontend.PolicyKind) (int, bool) {
+	for i, k := range m.Policies {
+		if k == kind {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Run simulates every workload under every policy. Each workload's
+// branch trace is generated once and replayed for all policies, so
+// policies are compared on identical streams.
+func Run(opts Options) (*Measurements, error) {
+	opts = opts.withDefaults()
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(opts.Workloads)
+	out := &Measurements{
+		Options:    opts,
+		Specs:      opts.Workloads,
+		Policies:   opts.Policies,
+		ICacheMPKI: map[frontend.PolicyKind][]float64{},
+		BTBMPKI:    map[frontend.PolicyKind][]float64{},
+		BranchMPKI: make([]float64, n),
+		Raw:        make([]WorkloadResult, n),
+	}
+	for _, k := range opts.Policies {
+		out.ICacheMPKI[k] = make([]float64, n)
+		out.BTBMPKI[k] = make([]float64, n)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, opts.Parallelism)
+		mu      sync.Mutex
+		firstEr error
+	)
+	for wi := range opts.Workloads {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := runWorkload(opts, opts.Workloads[wi])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstEr == nil {
+					firstEr = fmt.Errorf("sim: workload %s: %w", opts.Workloads[wi].Name, err)
+				}
+				return
+			}
+			out.Raw[wi] = res
+			for pi, k := range opts.Policies {
+				out.ICacheMPKI[k][wi] = res.Results[pi].ICacheMPKI()
+				out.BTBMPKI[k][wi] = res.Results[pi].BTBMPKI()
+			}
+			out.BranchMPKI[wi] = res.Results[0].BranchMPKI()
+		}(wi)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}
+
+// runWorkload generates one workload's trace and replays it per policy.
+func runWorkload(opts Options, spec workload.Spec) (WorkloadResult, error) {
+	prog, err := spec.Generate()
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	target := uint64(float64(spec.DefaultInstructions) * opts.Scale)
+	if target < 1000 {
+		target = 1000
+	}
+	recs, err := frontend.GenerateRecords(prog, opts.ExecSeed, target)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	wr := WorkloadResult{Spec: spec, Results: make([]frontend.Result, len(opts.Policies))}
+	for pi, kind := range opts.Policies {
+		res, err := frontend.SimulateRecords(opts.Config, kind, recs)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		wr.Results[pi] = res
+	}
+	return wr, nil
+}

@@ -1,0 +1,65 @@
+package stats
+
+import "strings"
+
+// heatRamp maps intensity 0..1 to characters from dark (dead frames) to
+// light (live frames), mirroring the paper's heat maps where lighter
+// pixels represent longer live times.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a sets x ways matrix of [0,1] efficiencies as ASCII
+// art, one row per set (downsampled to maxRows by averaging groups of
+// rows), one column per way (repeated colWidth times for visibility).
+func Heatmap(eff [][]float64, maxRows, colWidth int) string {
+	if len(eff) == 0 || maxRows <= 0 || colWidth <= 0 {
+		return ""
+	}
+	rows := len(eff)
+	group := (rows + maxRows - 1) / maxRows
+	var b strings.Builder
+	for start := 0; start < rows; start += group {
+		end := start + group
+		if end > rows {
+			end = rows
+		}
+		ways := len(eff[start])
+		for w := 0; w < ways; w++ {
+			sum := 0.0
+			for r := start; r < end; r++ {
+				sum += eff[r][w]
+			}
+			ch := rampChar(sum / float64(end-start))
+			for k := 0; k < colWidth; k++ {
+				b.WriteByte(ch)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func rampChar(v float64) byte {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	i := int(v * float64(len(heatRamp)-1))
+	return heatRamp[i]
+}
+
+// MeanEfficiency averages a matrix of efficiencies.
+func MeanEfficiency(eff [][]float64) float64 {
+	sum, n := 0.0, 0
+	for _, row := range eff {
+		for _, v := range row {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePGM renders an efficiency matrix as a binary PGM (P5) grayscale
+// image, one pixel per cache frame scaled up by cell, matching the
+// paper's heat-map figures (lighter pixels = longer live time). PGM is
+// chosen because it needs no dependencies and every image tool reads it.
+func WritePGM(w io.Writer, eff [][]float64, cell int) error {
+	if len(eff) == 0 || len(eff[0]) == 0 {
+		return fmt.Errorf("stats: empty efficiency matrix")
+	}
+	if cell < 1 {
+		cell = 1
+	}
+	rows, cols := len(eff), len(eff[0])
+	width, height := cols*cell, rows*cell
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	line := make([]byte, width)
+	for r := 0; r < rows; r++ {
+		if len(eff[r]) != cols {
+			return fmt.Errorf("stats: ragged efficiency matrix at row %d", r)
+		}
+		for c := 0; c < cols; c++ {
+			v := eff[r][c]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			g := byte(v * 255)
+			for k := 0; k < cell; k++ {
+				line[c*cell+k] = g
+			}
+		}
+		for k := 0; k < cell; k++ {
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The binary trace format is a small, self-describing container:
+//
+//	header:  magic "GHRPTRC1" | category u8 | name (uvarint len + bytes)
+//	         | record count uvarint
+//	records: type+taken byte | PC delta zigzag varint | target delta zigzag varint
+//	footer:  magic "END!"
+//
+// PCs and targets are delta-encoded against the previous record's PC and
+// target respectively; instruction streams have strong locality, so the
+// deltas are small and the format compresses branch records to a few bytes
+// each without any external compression dependency.
+
+var (
+	headerMagic = [8]byte{'G', 'H', 'R', 'P', 'T', 'R', 'C', '1'}
+	footerMagic = [4]byte{'E', 'N', 'D', '!'}
+)
+
+// ErrBadFormat is wrapped by all decoding errors caused by malformed input.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Header describes a serialized trace.
+type Header struct {
+	Name     string
+	Category Category
+	Records  uint64
+}
+
+// Writer serializes branch records to an io.Writer.
+type Writer struct {
+	w        *bufio.Writer
+	buf      [2 * binary.MaxVarintLen64]byte
+	prevPC   uint64
+	prevTgt  uint64
+	written  uint64
+	declared uint64
+	closed   bool
+}
+
+// NewWriter writes a trace header and returns a Writer that will accept
+// exactly hdr.Records records before Close.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	if !hdr.Category.Valid() {
+		return nil, fmt.Errorf("trace: invalid category %d", uint8(hdr.Category))
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(headerMagic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(byte(hdr.Category)); err != nil {
+		return nil, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(hdr.Name)))
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(hdr.Name); err != nil {
+		return nil, err
+	}
+	n = binary.PutUvarint(tmp[:], hdr.Records)
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, declared: hdr.Records}, nil
+}
+
+// WriteRecord appends one branch record.
+func (w *Writer) WriteRecord(r Record) error {
+	if w.closed {
+		return errors.New("trace: write after Close")
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if w.written >= w.declared {
+		return fmt.Errorf("trace: more than the declared %d records", w.declared)
+	}
+	tag := byte(r.Type) << 1
+	if r.Taken {
+		tag |= 1
+	}
+	if err := w.w.WriteByte(tag); err != nil {
+		return err
+	}
+	n := binary.PutVarint(w.buf[:], int64(r.PC-w.prevPC))
+	n += binary.PutVarint(w.buf[n:], int64(r.Target-w.prevTgt))
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	w.prevPC, w.prevTgt = r.PC, r.Target
+	w.written++
+	return nil
+}
+
+// Close writes the footer and flushes. It fails if fewer records than
+// declared were written.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.written != w.declared {
+		return fmt.Errorf("trace: wrote %d of %d declared records", w.written, w.declared)
+	}
+	if _, err := w.w.Write(footerMagic[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a serialized trace.
+type Reader struct {
+	r       *bufio.Reader
+	hdr     Header
+	read    uint64
+	prevPC  uint64
+	prevTgt uint64
+}
+
+// NewReader parses the trace header and returns a Reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if magic != headerMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic[:])
+	}
+	cat, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading category: %v", ErrBadFormat, err)
+	}
+	if !Category(cat).Valid() {
+		return nil, fmt.Errorf("%w: category %d", ErrBadFormat, cat)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading name length: %v", ErrBadFormat, err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: name length %d", ErrBadFormat, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: reading name: %v", ErrBadFormat, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading record count: %v", ErrBadFormat, err)
+	}
+	return &Reader{
+		r:   br,
+		hdr: Header{Name: string(name), Category: Category(cat), Records: count},
+	}, nil
+}
+
+// Header returns the decoded trace header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// ReadRecord returns the next record, or io.EOF after the last record and
+// a verified footer.
+func (r *Reader) ReadRecord() (Record, error) {
+	if r.read == r.hdr.Records {
+		var magic [4]byte
+		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+			return Record{}, fmt.Errorf("%w: reading footer: %v", ErrBadFormat, err)
+		}
+		if magic != footerMagic {
+			return Record{}, fmt.Errorf("%w: footer %q", ErrBadFormat, magic[:])
+		}
+		return Record{}, io.EOF
+	}
+	tag, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: reading tag: %v", ErrBadFormat, err)
+	}
+	bt := BranchType(tag >> 1)
+	if !bt.Valid() {
+		return Record{}, fmt.Errorf("%w: branch type %d", ErrBadFormat, tag>>1)
+	}
+	dpc, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: reading PC delta: %v", ErrBadFormat, err)
+	}
+	dtgt, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: reading target delta: %v", ErrBadFormat, err)
+	}
+	r.prevPC += uint64(dpc)
+	r.prevTgt += uint64(dtgt)
+	r.read++
+	rec := Record{PC: r.prevPC, Target: r.prevTgt, Type: bt, Taken: tag&1 != 0}
+	if err := rec.Validate(); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return rec, nil
+}
+
+// ReadAll decodes every remaining record.
+func (r *Reader) ReadAll() ([]Record, error) {
+	out := make([]Record, 0, r.hdr.Records-r.read)
+	for {
+		rec, err := r.ReadRecord()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
