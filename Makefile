@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race-smoke ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race-smoke exercises the concurrent suite runner, its cancellation
+# paths and the obs collector under the race detector on a reduced
+# suite; the full suite under -race is too slow for routine CI.
+race-smoke:
+	$(GO) test -race -run 'TestRun|TestStream|TestExecSeed|TestMulti|TestCollector|TestProgress' \
+		./internal/sim/... ./internal/obs/... ./internal/frontend/...
+
+ci: build vet test race-smoke

@@ -1,9 +1,13 @@
 package ghrpsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"testing"
+	"time"
 )
 
 func TestFacadeSimulation(t *testing.T) {
@@ -51,6 +55,35 @@ func TestFacadeRun(t *testing.T) {
 	}
 	if len(m.ICacheMPKI[PolicyGHRP]) != 4 {
 		t.Fatalf("measurement shape %d", len(m.ICacheMPKI[PolicyGHRP]))
+	}
+}
+
+func TestFacadeRunContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Options{Workloads: SuiteN(2), Scale: 0.02}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v", err)
+	}
+	var ticks int
+	m, err := RunContext(context.Background(), Options{
+		Workloads:     SuiteN(2),
+		Scale:         0.02,
+		ProgressEvery: 512,
+		Observer: Multi(NewRunProgress(io.Discard, time.Hour), func(e RunEvent) {
+			if e.Kind == RunTick {
+				ticks++
+			}
+		}),
+		Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats == nil || m.Stats.TotalRecords() == 0 {
+		t.Fatalf("run stats missing: %+v", m.Stats)
+	}
+	if ticks == 0 {
+		t.Error("observer saw no tick events")
 	}
 }
 

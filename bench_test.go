@@ -7,6 +7,7 @@
 package ghrpsim
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -79,7 +80,7 @@ func BenchmarkFig2SetSampling(b *testing.B) {
 	var rows []sim.SamplingRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = sim.ComputeSampling(benchOptions(), []int{2, 32, 0})
+		rows, err = sim.ComputeSampling(context.Background(), benchOptions(), []int{2, 32, 0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func BenchmarkFig7ConfigSweep(b *testing.B) {
 	var rows []sim.SweepRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = sim.RunSweep(benchOptions(), sim.Fig7Configs())
+		rows, err = sim.RunSweep(context.Background(), benchOptions(), sim.Fig7Configs())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,12 +228,12 @@ func BenchmarkHeadlineNumbers(b *testing.B) {
 
 // --- Ablation benches (DESIGN.md abl-*) ----------------------------------
 
-func benchAblation(b *testing.B, fn func(sim.Options) ([]sim.AblationRow, error)) []sim.AblationRow {
+func benchAblation(b *testing.B, fn func(context.Context, sim.Options) ([]sim.AblationRow, error)) []sim.AblationRow {
 	b.Helper()
 	var rows []sim.AblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = fn(benchOptions())
+		rows, err = fn(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

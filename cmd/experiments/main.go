@@ -6,18 +6,26 @@
 // Usage:
 //
 //	experiments [-run all|table1|fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|headline|ablations]
-//	            [-n workloads] [-scale f] [-parallel n]
+//	            [-n workloads] [-scale f] [-parallel n] [-progress]
+//
+// Interrupting a run (SIGINT/SIGTERM) cancels in-flight simulations
+// promptly; -progress streams live throughput to stderr and prints a
+// per-policy wall-time summary after the main suite run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ghrpsim/internal/core"
 	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/obs"
 	"ghrpsim/internal/sim"
 	"ghrpsim/internal/workload"
 )
@@ -28,15 +36,22 @@ func main() {
 		n        = flag.Int("n", workload.SuiteSize, "number of suite workloads")
 		scale    = flag.Float64("scale", 1.0, "instruction budget scale factor")
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "stream live progress and a throughput summary to stderr")
 	)
 	flag.Parse()
 	// "all" covers the paper artifacts; headroom and extended are
 	// explicit extras (run with -run headroom / -run extended).
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := sim.Options{
 		Workloads:   workload.SuiteN(*n),
 		Scale:       *scale,
 		Parallelism: *parallel,
+	}
+	if *progress {
+		opts.Observer = obs.NewProgress(os.Stderr, 500*time.Millisecond)
 	}
 	want := func(id string) bool { return *run == "all" || *run == id }
 	start := time.Now()
@@ -57,8 +72,11 @@ func main() {
 	}
 	if needMain {
 		var err error
-		m, err = sim.Run(opts)
+		m, err = sim.RunContext(ctx, opts)
 		fail(err)
+		if *progress {
+			fmt.Fprint(os.Stderr, m.Stats.Render())
+		}
 	}
 
 	if want("headline") {
@@ -118,21 +136,21 @@ func main() {
 
 	if want("fig2") {
 		fmt.Println("## Fig. 2 — set-sampling does not generalize (SDBP sampler restriction)")
-		rows, err := sim.ComputeSampling(opts, []int{2, 8, 32, 0})
+		rows, err := sim.ComputeSampling(ctx, opts, []int{2, 8, 32, 0})
 		fail(err)
 		fmt.Println(sim.RenderSampling(rows, frontend.DefaultICache().Sets()))
 	}
 
 	if want("fig7") {
 		fmt.Println("## Fig. 7 — average I-cache MPKI across configurations")
-		rows, err := sim.RunSweep(opts, sim.Fig7Configs())
+		rows, err := sim.RunSweep(ctx, opts, sim.Fig7Configs())
 		fail(err)
 		fmt.Println(sim.RenderSweep(rows, frontend.PaperPolicies()))
 	}
 
 	if want("headroom") {
 		fmt.Println("## Headroom vs Belady's OPT (extension beyond the paper)")
-		rep, err := sim.ComputeHeadroom(opts)
+		rep, err := sim.ComputeHeadroom(ctx, opts)
 		fail(err)
 		fmt.Println(rep.Render())
 	}
@@ -141,7 +159,7 @@ func main() {
 		fmt.Println("## Extended policies (FIFO, DIP, SHiP beyond the paper's five)")
 		ext := opts
 		ext.Policies = frontend.ExtendedPolicies()
-		me, err := sim.Run(ext)
+		me, err := sim.RunContext(ctx, ext)
 		fail(err)
 		fmt.Println(sim.ComputeHeadline(me, sim.ICache).Render())
 		fmt.Println(sim.ComputeHeadline(me, sim.BTB).Render())
@@ -151,7 +169,7 @@ func main() {
 		fmt.Println("## Ablations (design choices from Section III)")
 		type abl struct {
 			title string
-			fn    func(sim.Options) ([]sim.AblationRow, error)
+			fn    func(context.Context, sim.Options) ([]sim.AblationRow, error)
 		}
 		for _, a := range []abl{
 			{"majority vote vs summation (Section III-C)", sim.AblationVote},
@@ -161,7 +179,7 @@ func main() {
 			{"prediction table count", sim.AblationTableCount},
 			{"next-line prefetching x replacement (Section II-E)", sim.AblationPrefetch},
 		} {
-			rows, err := a.fn(opts)
+			rows, err := a.fn(ctx, opts)
 			fail(err)
 			fmt.Println(sim.RenderAblation(a.title, rows))
 		}

@@ -1,20 +1,30 @@
 // Command ghrpsim simulates one suite workload (or a trace file) through
 // the front end under one replacement policy and prints its statistics.
 //
+// Suite workloads are replayed by streaming the deterministic record
+// stream straight into the engine (no record buffer); -analyze and
+// -trace buffer records because their offline analyses need the whole
+// stream. SIGINT/SIGTERM cancels a streaming replay promptly.
+//
 // Usage:
 //
 //	ghrpsim [-workload NAME | -trace FILE] [-policy ghrp] [-instrs N]
 //	        [-icache-kb 64] [-ways 8] [-block 64] [-btb-entries 4096] [-btb-ways 4]
-//	        [-heatmap]
+//	        [-heatmap] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ghrpsim/internal/analysis"
 	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/obs"
 	"ghrpsim/internal/stats"
 	"ghrpsim/internal/trace"
 	"ghrpsim/internal/workload"
@@ -34,8 +44,12 @@ func main() {
 		heatmap    = flag.Bool("heatmap", false, "print the I-cache efficiency heat map")
 		pgm        = flag.String("pgm", "", "write the I-cache efficiency heat map as a PGM image")
 		analyze    = flag.Bool("analyze", false, "print reuse-distance and working-set profiles")
+		progress   = flag.Bool("progress", false, "stream live replay progress to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	kind, err := frontend.ParsePolicy(*policy)
 	fail(err)
@@ -44,9 +58,19 @@ func main() {
 	cfg.BTB = frontend.BTBConfig{Entries: *btbEntries, Ways: *btbWays}
 	fail(cfg.Validate())
 
+	var observe obs.Observer
+	if *progress {
+		observe = obs.NewProgress(os.Stderr, 500*time.Millisecond)
+	}
+
+	// The offline analyses (-trace input, -analyze) need the whole
+	// record stream in memory; plain workload replay streams it.
 	var recs []trace.Record
 	var name string
-	if *traceFile != "" {
+	var e *frontend.Engine
+	var res frontend.Result
+	switch {
+	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		fail(err)
 		defer f.Close()
@@ -55,25 +79,57 @@ func main() {
 		recs, err = r.ReadAll()
 		fail(err)
 		name = r.Header().Name
-	} else {
+		e, res = runRecords(cfg, kind, recs)
+
+	default:
 		spec, err := workload.Find(*wlName)
 		fail(err)
-		prog, err := spec.Generate()
-		fail(err)
+		name = spec.Name
 		target := spec.DefaultInstructions
 		if *instrs > 0 {
 			target = *instrs
 		}
-		recs, err = frontend.GenerateRecords(prog, 1, target)
+		if *analyze {
+			prog, err := spec.Generate()
+			fail(err)
+			recs, err = frontend.GenerateRecords(prog, 1, target)
+			fail(err)
+			e, res = runRecords(cfg, kind, recs)
+			break
+		}
+		prog, err := spec.Generate()
 		fail(err)
-		name = spec.Name
+		start := time.Now()
+		if observe != nil {
+			observe(obs.Event{Kind: obs.RunStart, Workloads: 1, Policies: 1})
+			observe(obs.Event{Kind: obs.WorkloadStart, Workload: name, Workloads: 1, Policies: 1})
+		}
+		total, _, err := frontend.CountProgram(cfg, prog, 1, target, frontend.StreamOptions{
+			Progress: func(records, instructions uint64) error { return ctx.Err() },
+		})
+		fail(err)
+		e, err = frontend.NewEngine(cfg, kind, cfg.WarmupFor(total))
+		fail(err)
+		res, err = e.StreamProgram(prog, 1, target, frontend.StreamOptions{
+			Progress: func(records, instructions uint64) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if observe != nil {
+					observe(obs.Event{Kind: obs.Tick, Workload: name, Policy: kind.String(),
+						Records: records, Instructions: instructions, Elapsed: time.Since(start)})
+				}
+				return nil
+			},
+		})
+		fail(err)
+		if observe != nil {
+			observe(obs.Event{Kind: obs.PolicyDone, Workload: name, Policy: kind.String(),
+				Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start)})
+			observe(obs.Event{Kind: obs.WorkloadDone, Workload: name, Workloads: 1, Elapsed: time.Since(start)})
+			observe(obs.Event{Kind: obs.RunDone, Workloads: 1, Elapsed: time.Since(start)})
+		}
 	}
-
-	total, err := frontend.CountInstructions(recs, cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
-	fail(err)
-	e, err := frontend.NewEngine(cfg, kind, cfg.WarmupFor(total))
-	fail(err)
-	res := e.Run(recs)
 
 	fmt.Printf("workload        %s\n", name)
 	fmt.Printf("policy          %s\n", kind)
@@ -116,6 +172,16 @@ func main() {
 		fail(f.Close())
 		fmt.Printf("wrote %s\n", *pgm)
 	}
+}
+
+// runRecords replays a buffered record slice, deriving the warm-up
+// window from the records.
+func runRecords(cfg frontend.Config, kind frontend.PolicyKind, recs []trace.Record) (*frontend.Engine, frontend.Result) {
+	total, err := frontend.CountInstructions(recs, cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
+	fail(err)
+	e, err := frontend.NewEngine(cfg, kind, cfg.WarmupFor(total))
+	fail(err)
+	return e, e.Run(recs)
 }
 
 func fail(err error) {

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"ghrpsim/internal/trace"
 	"ghrpsim/internal/workload"
@@ -31,6 +34,9 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "execution seed")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch {
 	case *list:
@@ -53,7 +59,7 @@ func main() {
 		if path == "" {
 			path = spec.Name + ".trc"
 		}
-		fail(writeTrace(spec, *seed, target, path))
+		fail(writeTrace(ctx, spec, *seed, target, path))
 		fmt.Printf("wrote %s (%d instructions)\n", path, target)
 
 	case *all:
@@ -64,7 +70,7 @@ func main() {
 				target = 1000
 			}
 			path := filepath.Join(*outdir, spec.Name+".trc")
-			fail(writeTrace(spec, *seed, target, path))
+			fail(writeTrace(ctx, spec, *seed, target, path))
 			fmt.Printf("wrote %s\n", path)
 		}
 
@@ -76,12 +82,13 @@ func main() {
 
 // writeTrace generates the workload twice: once to count records (the
 // format declares the count up front), once to stream them to disk.
-func writeTrace(spec workload.Spec, seed, target uint64, path string) error {
+// Both passes honor context cancellation.
+func writeTrace(ctx context.Context, spec workload.Spec, seed, target uint64, path string) error {
 	prog, err := spec.Generate()
 	if err != nil {
 		return err
 	}
-	count, err := workload.Emit(prog, seed, target, func(trace.Record) error { return nil })
+	count, err := workload.EmitContext(ctx, prog, seed, target, func(trace.Record) error { return nil })
 	if err != nil {
 		return err
 	}
@@ -98,7 +105,7 @@ func writeTrace(spec workload.Spec, seed, target uint64, path string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := workload.Emit(prog, seed, target, w.WriteRecord); err != nil {
+	if _, err := workload.EmitContext(ctx, prog, seed, target, w.WriteRecord); err != nil {
 		return err
 	}
 	return w.Close()

@@ -23,8 +23,13 @@
 package ghrpsim
 
 import (
+	"context"
+	"io"
+	"time"
+
 	"ghrpsim/internal/core"
 	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/obs"
 	"ghrpsim/internal/sim"
 	"ghrpsim/internal/trace"
 	"ghrpsim/internal/workload"
@@ -90,6 +95,24 @@ func SimulateRecords(cfg Config, kind PolicyKind, recs []Record) (Result, error)
 // under one policy.
 func SimulateProgram(cfg Config, kind PolicyKind, prog *Program, seed, target uint64) (Result, error) {
 	return frontend.SimulateProgram(cfg, kind, prog, seed, target)
+}
+
+// StreamOptions tunes a streaming replay: an optional progress callback
+// invoked every ProgressEvery records, which may abort (e.g. for
+// cancellation) by returning an error.
+type StreamOptions = frontend.StreamOptions
+
+// SimulateProgramStream streams a program through an engine with an
+// explicit warm-up limit and optional progress callbacks; pair with
+// CountProgram to match the buffered SimulateRecords path bit for bit.
+func SimulateProgramStream(cfg Config, kind PolicyKind, prog *Program, seed, target, warmupLimit uint64, opts StreamOptions) (Result, error) {
+	return frontend.SimulateProgramStream(cfg, kind, prog, seed, target, warmupLimit, opts)
+}
+
+// CountProgram streams a program through a fetch reconstructor without
+// buffering, returning total instruction and record counts.
+func CountProgram(cfg Config, prog *Program, seed, target uint64, opts StreamOptions) (instrs, records uint64, err error) {
+	return frontend.CountProgram(cfg, prog, seed, target, opts)
 }
 
 // GenerateRecords executes a program once, returning its record stream
@@ -165,5 +188,50 @@ const (
 	BTB    = sim.BTB
 )
 
+// RunEvent is one progress observation from a suite run.
+type RunEvent = obs.Event
+
+// RunObserver consumes live progress events; attach one via
+// Options.Observer. Observers are invoked concurrently.
+type RunObserver = obs.Observer
+
+// RunStats aggregates a run's wall time and per-workload / per-policy
+// throughput; available as Measurements.Stats.
+type RunStats = obs.RunStats
+
+// RunEventKind distinguishes run progress events.
+type RunEventKind = obs.EventKind
+
+// Run progress event kinds; see RunEvent.
+const (
+	RunStart          = obs.RunStart
+	RunWorkloadStart  = obs.WorkloadStart
+	RunTick           = obs.Tick
+	RunPolicyDone     = obs.PolicyDone
+	RunWorkloadDone   = obs.WorkloadDone
+	RunWorkloadFailed = obs.WorkloadFailed
+	RunDone           = obs.RunDone
+)
+
+// Multi fans each run event out to every non-nil observer.
+func Multi(observers ...RunObserver) RunObserver { return obs.Multi(observers...) }
+
+// ExecSeedZero requests literal execution seed 0 in Options.ExecSeed
+// (whose zero value means "unset" and defaults to seed 1).
+const ExecSeedZero = sim.ExecSeedZero
+
+// NewRunProgress returns a RunObserver that writes rate-limited progress
+// lines to w (e.g. os.Stderr).
+func NewRunProgress(w io.Writer, interval time.Duration) RunObserver {
+	return obs.NewProgress(w, interval)
+}
+
 // Run simulates a workload suite across policies in parallel.
 func Run(opts Options) (*Measurements, error) { return sim.Run(opts) }
+
+// RunContext is Run with cooperative cancellation: the run streams each
+// workload per policy, aborts promptly when ctx is cancelled, and
+// aggregates every workload failure into the returned error.
+func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
+	return sim.RunContext(ctx, opts)
+}

@@ -5,6 +5,23 @@ import (
 	"ghrpsim/internal/workload"
 )
 
+// DefaultProgressEvery is how many records pass between StreamOptions
+// progress callbacks when the caller leaves ProgressEvery at zero.
+const DefaultProgressEvery = 1 << 16
+
+// StreamOptions tunes a streaming replay. The zero value streams with no
+// callbacks.
+type StreamOptions struct {
+	// Progress, when non-nil, is invoked every ProgressEvery records
+	// with the records and instructions replayed so far; returning an
+	// error aborts the replay with that error (this is how callers
+	// implement cancellation).
+	Progress func(records, instructions uint64) error
+	// ProgressEvery is the record interval between Progress calls;
+	// 0 means DefaultProgressEvery.
+	ProgressEvery uint64
+}
+
 // CountInstructions walks a record slice with a fetch reconstructor and
 // returns the total instruction count it implies.
 func CountInstructions(recs []trace.Record, instrBytes, blockBytes uint64) (uint64, error) {
@@ -17,6 +34,34 @@ func CountInstructions(recs []trace.Record, instrBytes, blockBytes uint64) (uint
 		total += f.Next(r, nil)
 	}
 	return total, nil
+}
+
+// CountProgram streams a program's deterministic record stream through a
+// fetch reconstructor without buffering it, returning the total
+// instruction and record counts — the streaming equivalent of
+// GenerateRecords followed by CountInstructions.
+func CountProgram(cfg Config, prog *workload.Program, seed, target uint64, opts StreamOptions) (instrs, records uint64, err error) {
+	f, err := trace.NewFetcher(cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
+	if err != nil {
+		return 0, 0, err
+	}
+	every := opts.ProgressEvery
+	if every == 0 {
+		every = DefaultProgressEvery
+	}
+	var total, n uint64
+	_, err = workload.Emit(prog, seed, target, func(r trace.Record) error {
+		total += f.Next(r, nil)
+		n++
+		if opts.Progress != nil && n%every == 0 {
+			return opts.Progress(n, total)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return total, n, nil
 }
 
 // SimulateRecords runs one policy over a pre-generated record slice,
@@ -33,21 +78,50 @@ func SimulateRecords(cfg Config, kind PolicyKind, recs []trace.Record) (Result, 
 	return e.Run(recs), nil
 }
 
+// StreamProgram re-emits a program's deterministic record stream
+// straight into the engine, with no intermediate record buffer. Because
+// workload.Emit is deterministic for a (program, seed, target) triple,
+// repeated streams replay the identical trace the buffered
+// GenerateRecords path would produce.
+func (e *Engine) StreamProgram(prog *workload.Program, seed, target uint64, opts StreamOptions) (Result, error) {
+	every := opts.ProgressEvery
+	if every == 0 {
+		every = DefaultProgressEvery
+	}
+	var n uint64
+	_, err := workload.Emit(prog, seed, target, func(r trace.Record) error {
+		e.Process(r)
+		if opts.Progress != nil {
+			n++
+			if n%every == 0 {
+				return opts.Progress(n, e.instrs)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Result(), nil
+}
+
+// SimulateProgramStream builds an engine with an explicit warm-up limit
+// and streams the program through it. Pair it with CountProgram to
+// derive the warm-up from the stream's actual instruction count, which
+// makes the result bit-identical to the buffered SimulateRecords path.
+func SimulateProgramStream(cfg Config, kind PolicyKind, prog *workload.Program, seed, target, warmupLimit uint64, opts StreamOptions) (Result, error) {
+	e, err := NewEngine(cfg, kind, warmupLimit)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.StreamProgram(prog, seed, target, opts)
+}
+
 // SimulateProgram executes a synthesized program for target instructions,
 // streaming records straight into a fresh engine (no intermediate record
 // buffer). The warm-up window is derived from the target.
 func SimulateProgram(cfg Config, kind PolicyKind, prog *workload.Program, seed, target uint64) (Result, error) {
-	e, err := NewEngine(cfg, kind, cfg.WarmupFor(target))
-	if err != nil {
-		return Result{}, err
-	}
-	if _, err := workload.Emit(prog, seed, target, func(r trace.Record) error {
-		e.Process(r)
-		return nil
-	}); err != nil {
-		return Result{}, err
-	}
-	return e.Result(), nil
+	return SimulateProgramStream(cfg, kind, prog, seed, target, cfg.WarmupFor(target), StreamOptions{})
 }
 
 // GenerateRecords executes a program once and returns its record stream,

@@ -1,0 +1,366 @@
+// Package obs provides run observability for the suite runner: live
+// progress events emitted while workloads stream through the simulator,
+// an aggregating collector that turns them into per-workload and
+// per-policy wall-time and throughput statistics, and a rate-limited
+// progress printer for the CLIs.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind distinguishes the progress events a run emits.
+type EventKind uint8
+
+const (
+	// RunStart is emitted once, before any workload begins.
+	RunStart EventKind = iota
+	// WorkloadStart is emitted when a worker picks up a workload.
+	WorkloadStart
+	// Tick is emitted periodically while one policy replays a stream.
+	Tick
+	// PolicyDone is emitted after one policy finishes one workload.
+	PolicyDone
+	// WorkloadDone is emitted when every policy finished a workload.
+	WorkloadDone
+	// WorkloadFailed is emitted when a workload aborts with an error.
+	WorkloadFailed
+	// RunDone is emitted once, after the last workload completes.
+	RunDone
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case RunStart:
+		return "run-start"
+	case WorkloadStart:
+		return "workload-start"
+	case Tick:
+		return "tick"
+	case PolicyDone:
+		return "policy-done"
+	case WorkloadDone:
+		return "workload-done"
+	case WorkloadFailed:
+		return "workload-failed"
+	case RunDone:
+		return "run-done"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one observation from a run. Fields are populated as
+// applicable to the kind: Tick and PolicyDone carry the replay counters
+// for one (workload, policy) pair, WorkloadDone and RunDone carry wall
+// times, WorkloadFailed carries the error.
+type Event struct {
+	Kind          EventKind
+	Workload      string
+	WorkloadIndex int
+	Workloads     int // total workloads in the run
+	Policy        string
+	PolicyIndex   int
+	Policies      int // total policies in the run
+	// Records and Instructions replayed so far for this policy (Tick),
+	// or in total (PolicyDone).
+	Records      uint64
+	Instructions uint64
+	// Elapsed is measured since the policy replay (Tick, PolicyDone),
+	// the workload (WorkloadDone, WorkloadFailed) or the run (RunDone)
+	// started.
+	Elapsed time.Duration
+	Err     error // WorkloadFailed only
+}
+
+// Observer consumes progress events. Observers attached to a parallel
+// run are invoked concurrently from worker goroutines and must be safe
+// for concurrent use.
+type Observer func(Event)
+
+// Multi fans each event out to every non-nil observer; it returns nil
+// when none remain.
+func Multi(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e Event) {
+		for _, o := range live {
+			o(e)
+		}
+	}
+}
+
+// PolicyStats aggregates one policy's replay work.
+type PolicyStats struct {
+	Policy       string
+	Wall         time.Duration
+	Records      uint64
+	Instructions uint64
+}
+
+// RecordsPerSec is the replay throughput over the accumulated wall time.
+func (p PolicyStats) RecordsPerSec() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Records) / p.Wall.Seconds()
+}
+
+// WorkloadStats aggregates one workload's run: total wall time and the
+// per-policy breakdown, or the error that aborted it.
+type WorkloadStats struct {
+	Name         string
+	Index        int
+	Wall         time.Duration
+	Records      uint64 // summed over policy replays
+	Instructions uint64
+	Policies     []PolicyStats
+	Err          error
+}
+
+// RunStats is a whole run's aggregated observability data.
+type RunStats struct {
+	// Wall is the run's wall-clock time; per-policy walls sum simulation
+	// time across workers and so exceed Wall on parallel runs.
+	Wall      time.Duration
+	Workloads []WorkloadStats // ordered by workload index
+}
+
+// TotalRecords sums the records replayed across all workloads and
+// policies.
+func (r *RunStats) TotalRecords() uint64 {
+	var total uint64
+	for _, w := range r.Workloads {
+		total += w.Records
+	}
+	return total
+}
+
+// RecordsPerSec is the aggregate replay throughput against wall-clock
+// time; on parallel runs it reflects the parallel speedup.
+func (r *RunStats) RecordsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.TotalRecords()) / r.Wall.Seconds()
+}
+
+// Failed returns the workloads that aborted with an error.
+func (r *RunStats) Failed() []WorkloadStats {
+	var out []WorkloadStats
+	for _, w := range r.Workloads {
+		if w.Err != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// PolicyTotals sums each policy's work across workloads, in first-seen
+// order. Per-policy throughput is per worker (records over that policy's
+// accumulated simulation time).
+func (r *RunStats) PolicyTotals() []PolicyStats {
+	idx := map[string]int{}
+	var out []PolicyStats
+	for _, w := range r.Workloads {
+		for _, p := range w.Policies {
+			i, ok := idx[p.Policy]
+			if !ok {
+				i = len(out)
+				idx[p.Policy] = i
+				out = append(out, PolicyStats{Policy: p.Policy})
+			}
+			out[i].Wall += p.Wall
+			out[i].Records += p.Records
+			out[i].Instructions += p.Instructions
+		}
+	}
+	return out
+}
+
+// Render prints the run summary: totals, then the per-policy breakdown.
+func (r *RunStats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %d workloads in %s, %d records, %s rec/s",
+		len(r.Workloads), r.Wall.Round(time.Millisecond), r.TotalRecords(), siCount(r.RecordsPerSec()))
+	if failed := r.Failed(); len(failed) > 0 {
+		fmt.Fprintf(&b, ", %d failed", len(failed))
+	}
+	b.WriteByte('\n')
+	for _, p := range r.PolicyTotals() {
+		fmt.Fprintf(&b, "  %-8s %10d records %12s sim time %9s rec/s\n",
+			p.Policy, p.Records, p.Wall.Round(time.Millisecond), siCount(p.RecordsPerSec()))
+	}
+	return b.String()
+}
+
+// Collector aggregates events into RunStats. It is safe for concurrent
+// use; pass its Observe method (possibly via Multi) to a run.
+type Collector struct {
+	mu        sync.Mutex
+	wall      time.Duration
+	workloads map[int]*WorkloadStats
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{workloads: map[int]*WorkloadStats{}}
+}
+
+// Observe consumes one event.
+func (c *Collector) Observe(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Kind {
+	case PolicyDone:
+		w := c.workload(e)
+		w.Policies = append(w.Policies, PolicyStats{
+			Policy:       e.Policy,
+			Wall:         e.Elapsed,
+			Records:      e.Records,
+			Instructions: e.Instructions,
+		})
+		w.Records += e.Records
+		w.Instructions += e.Instructions
+	case WorkloadDone:
+		c.workload(e).Wall = e.Elapsed
+	case WorkloadFailed:
+		w := c.workload(e)
+		w.Wall = e.Elapsed
+		w.Err = e.Err
+	case RunDone:
+		c.wall = e.Elapsed
+	}
+}
+
+// workload returns (creating if needed) the stats slot for the event's
+// workload. Callers hold c.mu.
+func (c *Collector) workload(e Event) *WorkloadStats {
+	w, ok := c.workloads[e.WorkloadIndex]
+	if !ok {
+		w = &WorkloadStats{Name: e.Workload, Index: e.WorkloadIndex}
+		c.workloads[e.WorkloadIndex] = w
+	}
+	return w
+}
+
+// Stats snapshots the aggregated run statistics, ordered by workload
+// index.
+func (c *Collector) Stats() *RunStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &RunStats{Wall: c.wall, Workloads: make([]WorkloadStats, 0, len(c.workloads))}
+	for _, w := range c.workloads {
+		out.Workloads = append(out.Workloads, *w)
+	}
+	sort.Slice(out.Workloads, func(i, j int) bool { return out.Workloads[i].Index < out.Workloads[j].Index })
+	return out
+}
+
+// NewProgress returns an observer that writes one-line progress updates
+// to w, rate-limited to at most one line per interval (plus a final line
+// at RunDone). It is safe for concurrent use. A nil writer yields a nil
+// observer, which Multi drops.
+func NewProgress(w io.Writer, interval time.Duration) Observer {
+	if w == nil {
+		return nil
+	}
+	return newProgress(w, interval, time.Now)
+}
+
+// newProgress is NewProgress with an injectable clock for tests.
+func newProgress(w io.Writer, interval time.Duration, now func() time.Time) Observer {
+	p := &progress{w: w, interval: interval, now: now, inFlight: map[[2]int]uint64{}}
+	return p.observe
+}
+
+type progress struct {
+	mu        sync.Mutex
+	w         io.Writer
+	interval  time.Duration
+	now       func() time.Time
+	started   bool
+	start     time.Time
+	lastPrint time.Time
+	total     int
+	done      int
+	failed    int
+	records   uint64 // records of completed policy replays
+	inFlight  map[[2]int]uint64
+}
+
+func (p *progress) observe(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.now()
+	if !p.started {
+		p.started = true
+		p.start = t
+		p.lastPrint = t
+	}
+	key := [2]int{e.WorkloadIndex, e.PolicyIndex}
+	switch e.Kind {
+	case RunStart:
+		p.total = e.Workloads
+	case Tick:
+		p.inFlight[key] = e.Records
+	case PolicyDone:
+		delete(p.inFlight, key)
+		p.records += e.Records
+	case WorkloadDone:
+		p.done++
+	case WorkloadFailed:
+		p.done++
+		p.failed++
+	}
+	final := e.Kind == RunDone
+	if !final && t.Sub(p.lastPrint) < p.interval {
+		return
+	}
+	p.lastPrint = t
+	records := p.records
+	for _, r := range p.inFlight {
+		records += r
+	}
+	elapsed := t.Sub(p.start)
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(records) / elapsed.Seconds()
+	}
+	fmt.Fprintf(p.w, "progress: %d/%d workloads, %s records, %s rec/s, %s elapsed",
+		p.done, p.total, siCount(float64(records)), siCount(rate), elapsed.Round(time.Second))
+	if p.failed > 0 {
+		fmt.Fprintf(p.w, ", %d failed", p.failed)
+	}
+	fmt.Fprintln(p.w)
+}
+
+// siCount formats a count with an SI suffix ("1.8M", "45.2k").
+func siCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no live observers must be nil")
+	}
+	var a, b int
+	oa := func(Event) { a++ }
+	ob := func(Event) { b++ }
+	Multi(nil, oa)(Event{})
+	if a != 1 {
+		t.Errorf("single observer called %d times", a)
+	}
+	Multi(oa, nil, ob)(Event{Kind: Tick})
+	if a != 2 || b != 1 {
+		t.Errorf("fan-out called a=%d b=%d, want 2, 1", a, b)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[EventKind]string{
+		RunStart:       "run-start",
+		WorkloadStart:  "workload-start",
+		Tick:           "tick",
+		PolicyDone:     "policy-done",
+		WorkloadDone:   "workload-done",
+		WorkloadFailed: "workload-failed",
+		RunDone:        "run-done",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := EventKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind -> %q", got)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	failErr := errors.New("boom")
+	// Two workloads finishing out of order, one failing.
+	events := []Event{
+		{Kind: RunStart, Workloads: 3, Policies: 2},
+		{Kind: WorkloadStart, Workload: "w1", WorkloadIndex: 1},
+		{Kind: PolicyDone, Workload: "w1", WorkloadIndex: 1, Policy: "LRU", PolicyIndex: 0,
+			Records: 100, Instructions: 1000, Elapsed: time.Second},
+		{Kind: PolicyDone, Workload: "w1", WorkloadIndex: 1, Policy: "GHRP", PolicyIndex: 1,
+			Records: 100, Instructions: 1000, Elapsed: 2 * time.Second},
+		{Kind: WorkloadDone, Workload: "w1", WorkloadIndex: 1, Elapsed: 3 * time.Second},
+		{Kind: WorkloadStart, Workload: "w0", WorkloadIndex: 0},
+		{Kind: PolicyDone, Workload: "w0", WorkloadIndex: 0, Policy: "LRU", PolicyIndex: 0,
+			Records: 50, Instructions: 500, Elapsed: time.Second},
+		{Kind: WorkloadDone, Workload: "w0", WorkloadIndex: 0, Elapsed: time.Second},
+		{Kind: WorkloadStart, Workload: "w2", WorkloadIndex: 2},
+		{Kind: WorkloadFailed, Workload: "w2", WorkloadIndex: 2, Elapsed: time.Second, Err: failErr},
+		{Kind: RunDone, Workloads: 3, Elapsed: 4 * time.Second},
+	}
+	for _, e := range events {
+		c.Observe(e)
+	}
+	s := c.Stats()
+	if s.Wall != 4*time.Second {
+		t.Errorf("wall %v", s.Wall)
+	}
+	if len(s.Workloads) != 3 {
+		t.Fatalf("%d workloads", len(s.Workloads))
+	}
+	for i, w := range s.Workloads {
+		if w.Index != i {
+			t.Errorf("workload %d has index %d (not sorted)", i, w.Index)
+		}
+	}
+	w1 := s.Workloads[1]
+	if w1.Name != "w1" || w1.Records != 200 || w1.Instructions != 2000 || w1.Wall != 3*time.Second {
+		t.Errorf("w1 stats: %+v", w1)
+	}
+	if len(w1.Policies) != 2 || w1.Policies[1].Policy != "GHRP" || w1.Policies[1].Wall != 2*time.Second {
+		t.Errorf("w1 policies: %+v", w1.Policies)
+	}
+	if got := s.TotalRecords(); got != 250 {
+		t.Errorf("total records %d", got)
+	}
+	if got := s.RecordsPerSec(); got != 250.0/4 {
+		t.Errorf("rec/s %v", got)
+	}
+	failed := s.Failed()
+	if len(failed) != 1 || failed[0].Name != "w2" || !errors.Is(failed[0].Err, failErr) {
+		t.Errorf("failed: %+v", failed)
+	}
+	pt := s.PolicyTotals()
+	if len(pt) != 2 || pt[0].Policy != "LRU" || pt[0].Records != 150 || pt[0].Wall != 2*time.Second {
+		t.Errorf("policy totals: %+v", pt)
+	}
+	if got := pt[0].RecordsPerSec(); got != 75 {
+		t.Errorf("LRU rec/s %v", got)
+	}
+	out := s.Render()
+	for _, want := range []string{"3 workloads", "LRU", "GHRP", "1 failed", "rec/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPolicyStatsZeroWall(t *testing.T) {
+	if got := (PolicyStats{Records: 10}).RecordsPerSec(); got != 0 {
+		t.Errorf("zero-wall rec/s %v", got)
+	}
+	var r RunStats
+	if got := r.RecordsPerSec(); got != 0 {
+		t.Errorf("empty run rec/s %v", got)
+	}
+}
+
+func TestProgressNilWriter(t *testing.T) {
+	if NewProgress(nil, time.Second) != nil {
+		t.Error("nil writer must yield a nil observer")
+	}
+}
+
+func TestProgressRateLimit(t *testing.T) {
+	var b strings.Builder
+	clock := time.Unix(0, 0)
+	p := newProgress(&b, time.Second, func() time.Time { return clock })
+	p(Event{Kind: RunStart, Workloads: 2})
+	p(Event{Kind: Tick, WorkloadIndex: 0, Records: 500})
+	if b.Len() != 0 {
+		t.Fatalf("printed before interval elapsed:\n%s", b.String())
+	}
+	clock = clock.Add(time.Second)
+	p(Event{Kind: Tick, WorkloadIndex: 0, Records: 1500})
+	line := b.String()
+	if !strings.Contains(line, "0/2 workloads") || !strings.Contains(line, "1.5k records") {
+		t.Errorf("first line: %q", line)
+	}
+	// In-flight records fold into completed totals at PolicyDone without
+	// double counting.
+	b.Reset()
+	p(Event{Kind: PolicyDone, WorkloadIndex: 0, Records: 2000})
+	p(Event{Kind: WorkloadDone, WorkloadIndex: 0})
+	if b.Len() != 0 {
+		t.Fatalf("printed within interval:\n%s", b.String())
+	}
+	clock = clock.Add(2 * time.Second)
+	p(Event{Kind: WorkloadFailed, WorkloadIndex: 1, Err: errors.New("boom")})
+	line = b.String()
+	if !strings.Contains(line, "2/2 workloads") || !strings.Contains(line, "2.0k records") ||
+		!strings.Contains(line, "1 failed") {
+		t.Errorf("second line: %q", line)
+	}
+	// RunDone always prints, even inside the interval.
+	b.Reset()
+	p(Event{Kind: RunDone, Workloads: 2, Elapsed: 3 * time.Second})
+	if !strings.Contains(b.String(), "2/2 workloads") {
+		t.Errorf("final line: %q", b.String())
+	}
+}
+
+func TestSICount(t *testing.T) {
+	cases := map[float64]string{
+		12:      "12",
+		4_500:   "4.5k",
+		2.3e6:   "2.3M",
+		7.25e9:  "7.2G",
+		999:     "999",
+		1_000:   "1.0k",
+		1e6 - 1: "1000.0k",
+	}
+	for v, want := range cases {
+		if got := siCount(v); got != want {
+			t.Errorf("siCount(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,14 +19,14 @@ type AblationRow struct {
 
 // ghrpVariant runs the suite with only the GHRP policy under a modified
 // configuration and returns the mean MPKIs.
-func ghrpVariant(base Options, name string, mutate func(*frontend.Config)) (AblationRow, error) {
+func ghrpVariant(ctx context.Context, base Options, name string, mutate func(*frontend.Config)) (AblationRow, error) {
 	opts := base
 	if opts.Config.ICache == (frontend.ICacheConfig{}) {
 		opts.Config = frontend.DefaultConfig()
 	}
 	mutate(&opts.Config)
 	opts.Policies = []frontend.PolicyKind{frontend.PolicyGHRP}
-	m, err := Run(opts)
+	m, err := RunContext(ctx, opts)
 	if err != nil {
 		return AblationRow{}, err
 	}
@@ -37,13 +38,13 @@ func ghrpVariant(base Options, name string, mutate func(*frontend.Config)) (Abla
 }
 
 // runVariants evaluates a list of named configuration mutations.
-func runVariants(base Options, variants []struct {
+func runVariants(ctx context.Context, base Options, variants []struct {
 	name   string
 	mutate func(*frontend.Config)
 }) ([]AblationRow, error) {
 	rows := make([]AblationRow, 0, len(variants))
 	for _, v := range variants {
-		row, err := ghrpVariant(base, v.name, v.mutate)
+		row, err := ghrpVariant(ctx, base, v.name, v.mutate)
 		if err != nil {
 			return nil, err
 		}
@@ -54,8 +55,8 @@ func runVariants(base Options, variants []struct {
 
 // AblationVote compares majority vote against SDBP-style summation
 // (§III-C's design argument).
-func AblationVote(base Options) ([]AblationRow, error) {
-	return runVariants(base, []struct {
+func AblationVote(ctx context.Context, base Options) ([]AblationRow, error) {
+	return runVariants(ctx, base, []struct {
 		name   string
 		mutate func(*frontend.Config)
 	}{
@@ -67,7 +68,7 @@ func AblationVote(base Options) ([]AblationRow, error) {
 // AblationHistoryDepth varies how many previous accesses the path
 // history records (0 = PC-only signatures, the PC-based-predictor
 // degenerate case).
-func AblationHistoryDepth(base Options) ([]AblationRow, error) {
+func AblationHistoryDepth(ctx context.Context, base Options) ([]AblationRow, error) {
 	type depth struct {
 		name string
 		bits int
@@ -96,12 +97,12 @@ func AblationHistoryDepth(base Options) ([]AblationRow, error) {
 			}
 		}})
 	}
-	return runVariants(base, variants)
+	return runVariants(ctx, base, variants)
 }
 
 // AblationBypass compares GHRP with and without the bypass optimization.
-func AblationBypass(base Options) ([]AblationRow, error) {
-	return runVariants(base, []struct {
+func AblationBypass(ctx context.Context, base Options) ([]AblationRow, error) {
+	return runVariants(ctx, base, []struct {
 		name   string
 		mutate func(*frontend.Config)
 	}{
@@ -113,8 +114,8 @@ func AblationBypass(base Options) ([]AblationRow, error) {
 // AblationSpeculation compares wrong-path handling: no wrong path
 // modeled, pollution with history recovery (§III-F), and pollution
 // without recovery.
-func AblationSpeculation(base Options) ([]AblationRow, error) {
-	return runVariants(base, []struct {
+func AblationSpeculation(ctx context.Context, base Options) ([]AblationRow, error) {
+	return runVariants(ctx, base, []struct {
 		name   string
 		mutate func(*frontend.Config)
 	}{
@@ -136,8 +137,8 @@ func AblationSpeculation(base Options) ([]AblationRow, error) {
 
 // AblationTableCount compares a single prediction table against the
 // paper's three skewed tables.
-func AblationTableCount(base Options) ([]AblationRow, error) {
-	return runVariants(base, []struct {
+func AblationTableCount(ctx context.Context, base Options) ([]AblationRow, error) {
+	return runVariants(ctx, base, []struct {
 		name   string
 		mutate func(*frontend.Config)
 	}{
@@ -151,7 +152,7 @@ func AblationTableCount(base Options) ([]AblationRow, error) {
 // AblationPrefetch measures next-line prefetching composed with LRU and
 // GHRP replacement — the prior-work direction the paper contrasts with
 // (§II-E).
-func AblationPrefetch(base Options) ([]AblationRow, error) {
+func AblationPrefetch(ctx context.Context, base Options) ([]AblationRow, error) {
 	rows := make([]AblationRow, 0, 4)
 	for _, v := range []struct {
 		name     string
@@ -169,7 +170,7 @@ func AblationPrefetch(base Options) ([]AblationRow, error) {
 		}
 		opts.Config.NextLinePrefetch = v.prefetch
 		opts.Policies = []frontend.PolicyKind{v.kind}
-		m, err := Run(opts)
+		m, err := RunContext(ctx, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -272,8 +273,8 @@ func Fig7Configs() []frontend.ICacheConfig {
 }
 
 // RunSweep measures mean I-cache MPKI for each configuration. Each
-// configuration is a full suite run.
-func RunSweep(base Options, configs []frontend.ICacheConfig) ([]SweepRow, error) {
+// configuration is a full (cancellable) suite run.
+func RunSweep(ctx context.Context, base Options, configs []frontend.ICacheConfig) ([]SweepRow, error) {
 	rows := make([]SweepRow, 0, len(configs))
 	for _, ic := range configs {
 		opts := base
@@ -282,7 +283,7 @@ func RunSweep(base Options, configs []frontend.ICacheConfig) ([]SweepRow, error)
 			opts.Config = frontend.DefaultConfig()
 		}
 		opts.Config.ICache = ic
-		m, err := Run(opts)
+		m, err := RunContext(ctx, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -396,17 +397,14 @@ type HeatmapResult struct {
 // ComputeHeatmaps simulates one workload under each policy on the given
 // configuration and renders the selected structure's efficiency matrix.
 // The paper uses a 16KB 8-way I-cache (Fig. 1) and a 256-entry 8-way BTB
-// (Fig. 5).
+// (Fig. 5). The workload's stream is re-emitted per policy rather than
+// buffered.
 func ComputeHeatmaps(cfg frontend.Config, st Structure, spec workload.Spec, instrs uint64, kinds []frontend.PolicyKind, rows, colWidth int) ([]HeatmapResult, error) {
 	prog, err := spec.Generate()
 	if err != nil {
 		return nil, err
 	}
-	recs, err := frontend.GenerateRecords(prog, 1, instrs)
-	if err != nil {
-		return nil, err
-	}
-	total, err := frontend.CountInstructions(recs, cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
+	total, _, err := frontend.CountProgram(cfg, prog, 1, instrs, frontend.StreamOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +414,9 @@ func ComputeHeatmaps(cfg frontend.Config, st Structure, spec workload.Spec, inst
 		if err != nil {
 			return nil, err
 		}
-		e.Run(recs)
+		if _, err := e.StreamProgram(prog, 1, instrs, frontend.StreamOptions{}); err != nil {
+			return nil, err
+		}
 		var eff [][]float64
 		if st == BTB {
 			eff = e.BTB().Efficiency()
@@ -458,7 +458,7 @@ type SamplingRow struct {
 // only the first N sets, versus the full-cache sampler. Because a PC
 // maps to exactly one I-cache set, a small sampler observes only the
 // signatures of its own sets and cannot generalize to the rest.
-func ComputeSampling(base Options, samplerSets []int) ([]SamplingRow, error) {
+func ComputeSampling(ctx context.Context, base Options, samplerSets []int) ([]SamplingRow, error) {
 	var rows []SamplingRow
 	for _, n := range samplerSets {
 		opts := base
@@ -467,7 +467,7 @@ func ComputeSampling(base Options, samplerSets []int) ([]SamplingRow, error) {
 		}
 		opts.Config.SDBP = policies.SDBPConfig{SamplerSets: n}
 		opts.Policies = []frontend.PolicyKind{frontend.PolicySDBP}
-		m, err := Run(opts)
+		m, err := RunContext(ctx, opts)
 		if err != nil {
 			return nil, err
 		}

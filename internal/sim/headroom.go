@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,10 +34,14 @@ type HeadroomReport struct {
 
 // ComputeHeadroom runs the suite's I-cache under every policy plus the
 // OPT oracle. This is an extension beyond the paper's evaluation,
-// bounding how much of the achievable improvement GHRP captures.
-func ComputeHeadroom(opts Options) (HeadroomReport, error) {
-	opts = opts.withDefaults()
-	if err := opts.Config.Validate(); err != nil {
+// bounding how much of the achievable improvement GHRP captures. Unlike
+// RunContext, the OPT oracle needs the whole access stream at once, so
+// each workload's records are buffered (one workload at a time); the
+// context is checked between workloads and per-workload failures abort
+// the computation.
+func ComputeHeadroom(ctx context.Context, opts Options) (HeadroomReport, error) {
+	opts, err := opts.prepare()
+	if err != nil {
 		return HeadroomReport{}, err
 	}
 	n := len(opts.Workloads)
@@ -48,16 +53,27 @@ func ComputeHeadroom(opts Options) (HeadroomReport, error) {
 	}
 
 	for wi, spec := range opts.Workloads {
-		recs, target, err := specRecords(opts, spec)
+		if err := ctx.Err(); err != nil {
+			return HeadroomReport{}, err
+		}
+		recs, err := specRecords(opts, spec)
+		if err != nil {
+			return HeadroomReport{}, fmt.Errorf("sim: workload %s: %w", spec.Name, err)
+		}
+		// Count the stream once and share the warm-up window across
+		// policies instead of re-counting inside SimulateRecords per
+		// policy.
+		total, err := frontend.CountInstructions(recs, opts.Config.InstrBytes, uint64(opts.Config.ICache.BlockBytes))
 		if err != nil {
 			return HeadroomReport{}, err
 		}
-		_ = target
+		warm := opts.Config.WarmupFor(total)
 		for _, k := range opts.Policies {
-			res, err := frontend.SimulateRecords(opts.Config, k, recs)
+			e, err := frontend.NewEngine(opts.Config, k, warm)
 			if err != nil {
 				return HeadroomReport{}, err
 			}
+			res := e.Run(recs)
 			polV[k][wi] = res.ICacheMPKI()
 			if k == frontend.PolicyLRU {
 				lruV[wi] = res.ICacheMPKI()
@@ -67,7 +83,7 @@ func ComputeHeadroom(opts Options) (HeadroomReport, error) {
 		if err != nil {
 			return HeadroomReport{}, err
 		}
-		warm := opts.Config.WarmupFor(total)
+		warm = opts.Config.WarmupFor(total)
 		skip, err := frontend.AccessIndexAt(recs, opts.Config, warm)
 		if err != nil {
 			return HeadroomReport{}, err
@@ -107,20 +123,16 @@ func ComputeHeadroom(opts Options) (HeadroomReport, error) {
 }
 
 // specRecords generates one workload's record stream per the run options.
-func specRecords(opts Options, spec workload.Spec) ([]trace.Record, uint64, error) {
+func specRecords(opts Options, spec workload.Spec) ([]trace.Record, error) {
 	prog, err := spec.Generate()
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	target := uint64(float64(spec.DefaultInstructions) * opts.Scale)
-	if target < 1000 {
-		target = 1000
-	}
-	recs, err := frontend.GenerateRecords(prog, opts.ExecSeed, target)
+	recs, err := frontend.GenerateRecords(prog, opts.ExecSeed, targetFor(spec, opts.Scale))
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	return recs, target, nil
+	return recs, nil
 }
 
 // Render prints the headroom table.

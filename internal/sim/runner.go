@@ -5,13 +5,22 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/obs"
 	"ghrpsim/internal/workload"
 )
+
+// ExecSeedZero requests literal execution seed 0. The zero value of
+// Options.ExecSeed means "unset" and defaults to seed 1, so seed 0 needs
+// this explicit sentinel.
+const ExecSeedZero = ^uint64(0)
 
 // Options configures a suite run.
 type Options struct {
@@ -19,7 +28,8 @@ type Options struct {
 	Workloads []workload.Spec
 	// Config is the front-end configuration; defaults to the paper's.
 	Config frontend.Config
-	// Policies to evaluate; defaults to the paper's five.
+	// Policies to evaluate; nil defaults to the paper's five. A non-nil
+	// empty slice is rejected by Run.
 	Policies []frontend.PolicyKind
 	// Scale multiplies each workload's default instruction budget;
 	// defaults to 1.0.
@@ -27,8 +37,18 @@ type Options struct {
 	// Parallelism bounds concurrent workloads; defaults to GOMAXPROCS.
 	Parallelism int
 	// ExecSeed seeds workload execution (fixed across policies so every
-	// policy replays the identical trace).
+	// policy replays the identical trace). The zero value means "unset"
+	// and is coerced to seed 1; pass ExecSeedZero to run with literal
+	// seed 0.
 	ExecSeed uint64
+	// Observer receives live progress events (nil = none). It is
+	// invoked concurrently from worker goroutines and must be safe for
+	// concurrent use; see internal/obs.
+	Observer obs.Observer
+	// ProgressEvery is the record interval between obs.Tick events and
+	// cancellation polls during one policy's replay; defaults to
+	// frontend.DefaultProgressEvery.
+	ProgressEvery uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -47,10 +67,43 @@ func (o Options) withDefaults() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	if o.ExecSeed == 0 {
+	switch o.ExecSeed {
+	case 0:
 		o.ExecSeed = 1
+	case ExecSeedZero:
+		o.ExecSeed = 0
+	}
+	if o.ProgressEvery == 0 {
+		o.ProgressEvery = frontend.DefaultProgressEvery
 	}
 	return o
+}
+
+// validate rejects unusable option sets after defaulting.
+func (o Options) validate() error {
+	if len(o.Policies) == 0 {
+		return errors.New("sim: Options.Policies is empty (nil selects the paper's five)")
+	}
+	return o.Config.Validate()
+}
+
+// prepare applies defaults and validates; every suite entry point goes
+// through it.
+func (o Options) prepare() (Options, error) {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+// targetFor scales one workload's instruction budget.
+func targetFor(spec workload.Spec, scale float64) uint64 {
+	target := uint64(float64(spec.DefaultInstructions) * scale)
+	if target < 1000 {
+		target = 1000
+	}
+	return target
 }
 
 // WorkloadResult holds one workload's results across policies, indexed
@@ -71,6 +124,9 @@ type Measurements struct {
 	BTBMPKI    map[frontend.PolicyKind][]float64
 	BranchMPKI []float64
 	Raw        []WorkloadResult
+	// Stats holds the run's observability data: wall time and
+	// per-workload / per-policy throughput.
+	Stats *obs.RunStats
 }
 
 // PolicyIndex returns the position of kind in the run's policy list.
@@ -83,12 +139,20 @@ func (m *Measurements) PolicyIndex(kind frontend.PolicyKind) (int, bool) {
 	return 0, false
 }
 
-// Run simulates every workload under every policy. Each workload's
-// branch trace is generated once and replayed for all policies, so
-// policies are compared on identical streams.
+// Run simulates every workload under every policy; see RunContext.
 func Run(opts Options) (*Measurements, error) {
-	opts = opts.withDefaults()
-	if err := opts.Config.Validate(); err != nil {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext simulates every workload under every policy. Each
+// workload's deterministic branch stream is re-emitted per policy
+// (streaming replay, no per-workload record buffer), so policies are
+// compared on identical streams. Workload failures are aggregated with
+// errors.Join rather than truncated to the first; a context cancellation
+// aborts in-flight replays promptly and is reported via ctx.Err().
+func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
+	opts, err := opts.prepare()
+	if err != nil {
 		return nil, err
 	}
 	n := len(opts.Workloads)
@@ -106,27 +170,46 @@ func Run(opts Options) (*Measurements, error) {
 		out.BTBMPKI[k] = make([]float64, n)
 	}
 
+	collector := obs.NewCollector()
+	observe := obs.Multi(collector.Observe, opts.Observer)
+	runStart := time.Now()
+	observe(obs.Event{Kind: obs.RunStart, Workloads: n, Policies: len(opts.Policies)})
+
 	var (
-		wg      sync.WaitGroup
-		sem     = make(chan struct{}, opts.Parallelism)
-		mu      sync.Mutex
-		firstEr error
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, opts.Parallelism)
+		mu   sync.Mutex
+		errs = make([]error, n) // one slot per workload, joined after the wait
 	)
 	for wi := range opts.Workloads {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			defer func() { <-sem }()
-			res, err := runWorkload(opts, opts.Workloads[wi])
-			mu.Lock()
-			defer mu.Unlock()
+			spec := opts.Workloads[wi]
+			observe(obs.Event{Kind: obs.WorkloadStart, Workload: spec.Name, WorkloadIndex: wi,
+				Workloads: n, Policies: len(opts.Policies)})
+			start := time.Now()
+			res, err := runWorkload(ctx, opts, wi, spec, observe)
 			if err != nil {
-				if firstEr == nil {
-					firstEr = fmt.Errorf("sim: workload %s: %w", opts.Workloads[wi].Name, err)
+				observe(obs.Event{Kind: obs.WorkloadFailed, Workload: spec.Name, WorkloadIndex: wi,
+					Workloads: n, Elapsed: time.Since(start), Err: err})
+				// Cancellation is reported once via ctx.Err() below, not
+				// once per aborted workload.
+				if ctx.Err() == nil || !errors.Is(err, ctx.Err()) {
+					errs[wi] = fmt.Errorf("sim: workload %s: %w", spec.Name, err)
 				}
 				return
 			}
+			observe(obs.Event{Kind: obs.WorkloadDone, Workload: spec.Name, WorkloadIndex: wi,
+				Workloads: n, Elapsed: time.Since(start)})
+			mu.Lock()
+			defer mu.Unlock()
 			out.Raw[wi] = res
 			for pi, k := range opts.Policies {
 				out.ICacheMPKI[k][wi] = res.Results[pi].ICacheMPKI()
@@ -136,33 +219,67 @@ func Run(opts Options) (*Measurements, error) {
 		}(wi)
 	}
 	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
+	observe(obs.Event{Kind: obs.RunDone, Workloads: n, Elapsed: time.Since(runStart)})
+	out.Stats = collector.Stats()
+
+	all := make([]error, 0, n+1)
+	if err := ctx.Err(); err != nil {
+		all = append(all, err)
+	}
+	for _, e := range errs {
+		if e != nil {
+			all = append(all, e)
+		}
+	}
+	if err := errors.Join(all...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// runWorkload generates one workload's trace and replays it per policy.
-func runWorkload(opts Options, spec workload.Spec) (WorkloadResult, error) {
+// runWorkload replays one workload's deterministic stream once per
+// policy. A first streaming pass counts the stream's instructions so
+// the warm-up window matches the buffered SimulateRecords path exactly;
+// no record slice is materialized at any point.
+func runWorkload(ctx context.Context, opts Options, wi int, spec workload.Spec, observe obs.Observer) (WorkloadResult, error) {
 	prog, err := spec.Generate()
 	if err != nil {
 		return WorkloadResult{}, err
 	}
-	target := uint64(float64(spec.DefaultInstructions) * opts.Scale)
-	if target < 1000 {
-		target = 1000
+	target := targetFor(spec, opts.Scale)
+	counting := frontend.StreamOptions{
+		ProgressEvery: opts.ProgressEvery,
+		Progress:      func(records, instructions uint64) error { return ctx.Err() },
 	}
-	recs, err := frontend.GenerateRecords(prog, opts.ExecSeed, target)
+	total, _, err := frontend.CountProgram(opts.Config, prog, opts.ExecSeed, target, counting)
 	if err != nil {
 		return WorkloadResult{}, err
 	}
+	warm := opts.Config.WarmupFor(total)
 	wr := WorkloadResult{Spec: spec, Results: make([]frontend.Result, len(opts.Policies))}
 	for pi, kind := range opts.Policies {
-		res, err := frontend.SimulateRecords(opts.Config, kind, recs)
+		pi, kind := pi, kind
+		start := time.Now()
+		so := frontend.StreamOptions{
+			ProgressEvery: opts.ProgressEvery,
+			Progress: func(records, instructions uint64) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				observe(obs.Event{Kind: obs.Tick, Workload: spec.Name, WorkloadIndex: wi,
+					Policy: kind.String(), PolicyIndex: pi, Policies: len(opts.Policies),
+					Records: records, Instructions: instructions, Elapsed: time.Since(start)})
+				return nil
+			},
+		}
+		res, err := frontend.SimulateProgramStream(opts.Config, kind, prog, opts.ExecSeed, target, warm, so)
 		if err != nil {
 			return WorkloadResult{}, err
 		}
 		wr.Results[pi] = res
+		observe(obs.Event{Kind: obs.PolicyDone, Workload: spec.Name, WorkloadIndex: wi,
+			Policy: kind.String(), PolicyIndex: pi, Policies: len(opts.Policies),
+			Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start)})
 	}
 	return wr, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -228,7 +229,7 @@ func TestHeatmapExperiment(t *testing.T) {
 
 func TestSamplingExperiment(t *testing.T) {
 	base := Options{Workloads: workload.SuiteN(4), Scale: 0.02}
-	rows, err := ComputeSampling(base, []int{2, 32, 0})
+	rows, err := ComputeSampling(context.Background(), base, []int{2, 32, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestSweepExperiment(t *testing.T) {
 		{SizeBytes: 8 * 1024, BlockBytes: 64, Ways: 4},
 		{SizeBytes: 16 * 1024, BlockBytes: 64, Ways: 8},
 	}
-	rows, err := RunSweep(base, configs)
+	rows, err := RunSweep(context.Background(), base, configs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestAblations(t *testing.T) {
 	base := Options{Workloads: workload.SuiteN(3), Scale: 0.02}
 	type abl struct {
 		name string
-		fn   func(Options) ([]AblationRow, error)
+		fn   func(context.Context, Options) ([]AblationRow, error)
 		rows int
 	}
 	for _, a := range []abl{
@@ -291,7 +292,7 @@ func TestAblations(t *testing.T) {
 		{"speculation", AblationSpeculation, 3},
 		{"tables", AblationTableCount, 4},
 	} {
-		rows, err := a.fn(base)
+		rows, err := a.fn(context.Background(), base)
 		if err != nil {
 			t.Fatalf("%s: %v", a.name, err)
 		}
@@ -340,7 +341,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 }
 
 func TestHeadroomExperiment(t *testing.T) {
-	rep, err := ComputeHeadroom(Options{Workloads: workload.SuiteN(4), Scale: 0.05})
+	rep, err := ComputeHeadroom(context.Background(), Options{Workloads: workload.SuiteN(4), Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestHeadroomExperiment(t *testing.T) {
 }
 
 func TestAblationPrefetch(t *testing.T) {
-	rows, err := AblationPrefetch(Options{Workloads: workload.SuiteN(3), Scale: 0.05})
+	rows, err := AblationPrefetch(context.Background(), Options{Workloads: workload.SuiteN(3), Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"ghrpsim/internal/trace"
@@ -259,4 +260,24 @@ func Emit(p *Program, seed, target uint64, sink func(trace.Record) error) (recor
 		return records, err
 	}
 	return records, nil
+}
+
+// emitCheckEvery is how many records pass between EmitContext's
+// cancellation polls.
+const emitCheckEvery = 1 << 16
+
+// EmitContext is Emit with cooperative cancellation: the context is
+// polled periodically and a pending cancellation aborts the emission,
+// returning ctx.Err().
+func EmitContext(ctx context.Context, p *Program, seed, target uint64, sink func(trace.Record) error) (uint64, error) {
+	var n uint64
+	return Emit(p, seed, target, func(r trace.Record) error {
+		n++
+		if n%emitCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return sink(r)
+	})
 }
