@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race-smoke ci
+.PHONY: build vet test race-smoke fuzz-smoke golden-update ci
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,25 @@ vet:
 test:
 	$(GO) test ./...
 
-# race-smoke exercises the concurrent suite runner, its cancellation
-# paths and the obs collector under the race detector on a reduced
-# suite; the full suite under -race is too slow for routine CI.
+# race-smoke exercises the concurrent suite runner (including the
+# flattened scheduler's equivalence tests and the on-disk result cache),
+# its cancellation paths and the obs collector under the race detector on
+# a reduced suite; the full suite under -race is too slow for routine CI.
 race-smoke:
-	$(GO) test -race -run 'TestRun|TestStream|TestExecSeed|TestMulti|TestCollector|TestProgress' \
-		./internal/sim/... ./internal/obs/... ./internal/frontend/...
+	$(GO) test -race -run 'TestRun|TestStream|TestExecSeed|TestMulti|TestCollector|TestProgress|TestScheduler|TestSweepReuses|TestHeadroomShares|TestCache' \
+		./internal/sim/... ./internal/obs/... ./internal/frontend/... ./internal/resultcache/...
+
+# fuzz-smoke runs each trace-format fuzz target briefly (native Go
+# fuzzing); the checked-in corpus under internal/trace/testdata/fuzz also
+# replays as ordinary test cases in `make test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceReader$$' -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/trace/
+
+# golden-update rewrites the renderer golden files under
+# internal/sim/testdata. Renderer output changes fail `make test` until
+# the goldens are regenerated here and the diff is reviewed.
+golden-update:
+	$(GO) test -run TestGolden -update ./internal/sim/
 
 ci: build vet test race-smoke

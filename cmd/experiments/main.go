@@ -6,11 +6,15 @@
 // Usage:
 //
 //	experiments [-run all|table1|fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|headline|ablations]
-//	            [-n workloads] [-scale f] [-parallel n] [-progress]
+//	            [-n workloads] [-scale f] [-parallel n] [-progress] [-cache-dir DIR]
 //
 // Interrupting a run (SIGINT/SIGTERM) cancels in-flight simulations
 // promptly; -progress streams live throughput to stderr and prints a
-// per-policy wall-time summary after the main suite run.
+// per-policy wall-time summary after the main suite run. -cache-dir
+// attaches an on-disk result cache: every (workload, policy, config)
+// cell is stored after simulation and reloaded on later runs, so the
+// fig7 sweep and the ablations skip the baseline cells the main run
+// already computed, and a repeated invocation replays nothing.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"ghrpsim/internal/core"
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/obs"
+	"ghrpsim/internal/resultcache"
 	"ghrpsim/internal/sim"
 	"ghrpsim/internal/workload"
 )
@@ -37,6 +42,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "instruction budget scale factor")
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "stream live progress and a throughput summary to stderr")
+		cacheDir = flag.String("cache-dir", "", "on-disk result cache directory (empty = no caching)")
 	)
 	flag.Parse()
 	// "all" covers the paper artifacts; headroom and extended are
@@ -49,6 +55,11 @@ func main() {
 		Workloads:   workload.SuiteN(*n),
 		Scale:       *scale,
 		Parallelism: *parallel,
+	}
+	if *cacheDir != "" {
+		cache, err := resultcache.Open(*cacheDir)
+		fail(err)
+		opts.Cache = cache
 	}
 	if *progress {
 		opts.Observer = obs.NewProgress(os.Stderr, 500*time.Millisecond)

@@ -10,7 +10,13 @@
 //
 //	ghrpsim [-workload NAME | -trace FILE] [-policy ghrp] [-instrs N]
 //	        [-icache-kb 64] [-ways 8] [-block 64] [-btb-entries 4096] [-btb-ways 4]
-//	        [-heatmap] [-progress]
+//	        [-heatmap] [-progress] [-cache-dir DIR]
+//
+// -cache-dir attaches the on-disk result cache shared with
+// cmd/experiments: a repeated invocation of the same (workload, policy,
+// config, instrs) cell prints the stored statistics without simulating.
+// Engine-state outputs (-heatmap, -pgm, -analyze) and -trace input
+// always simulate, since the cache stores results, not engine state.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"ghrpsim/internal/analysis"
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/obs"
+	"ghrpsim/internal/resultcache"
 	"ghrpsim/internal/stats"
 	"ghrpsim/internal/trace"
 	"ghrpsim/internal/workload"
@@ -45,6 +52,7 @@ func main() {
 		pgm        = flag.String("pgm", "", "write the I-cache efficiency heat map as a PGM image")
 		analyze    = flag.Bool("analyze", false, "print reuse-distance and working-set profiles")
 		progress   = flag.Bool("progress", false, "stream live replay progress to stderr")
+		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (empty = no caching)")
 	)
 	flag.Parse()
 
@@ -97,6 +105,21 @@ func main() {
 			e, res = runRecords(cfg, kind, recs)
 			break
 		}
+		// The result cache can answer the plain statistics run; outputs
+		// that need live engine state (-heatmap, -pgm) still simulate.
+		var cache *resultcache.Cache
+		var cacheKey resultcache.Key
+		if *cacheDir != "" && !*heatmap && *pgm == "" {
+			cache, err = resultcache.Open(*cacheDir)
+			fail(err)
+			cacheKey, err = resultcache.KeyFor(spec, cfg, kind, 1, target)
+			fail(err)
+			if cached, ok := cache.Get(cacheKey); ok && cached.Policy == kind {
+				res = cached
+				fmt.Fprintf(os.Stderr, "ghrpsim: result loaded from cache %s\n", cache.Dir())
+				break
+			}
+		}
 		prog, err := spec.Generate()
 		fail(err)
 		start := time.Now()
@@ -125,9 +148,13 @@ func main() {
 		fail(err)
 		if observe != nil {
 			observe(obs.Event{Kind: obs.PolicyDone, Workload: name, Policy: kind.String(),
-				Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start)})
+				Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start),
+				CacheMiss: cache != nil})
 			observe(obs.Event{Kind: obs.WorkloadDone, Workload: name, Workloads: 1, Elapsed: time.Since(start)})
 			observe(obs.Event{Kind: obs.RunDone, Workloads: 1, Elapsed: time.Since(start)})
+		}
+		if cache != nil {
+			fail(cache.Put(cacheKey, res))
 		}
 	}
 
@@ -142,7 +169,7 @@ func main() {
 		res.BTB.Accesses, res.BTB.Hits, res.BTB.Misses, res.BTBMPKI())
 	fmt.Printf("branch dir      %.2f%% accuracy, %.3f MPKI\n",
 		res.Branch.Accuracy()*100, res.BranchMPKI())
-	if g := e.GHRP(); g != nil {
+	if g := e.GHRP(); g != nil { // e is nil only on a cache hit, handled by GHRP's nil receiver
 		dead, lru := g.EvictionBreakdown()
 		ps := g.Predictor().Stats()
 		fmt.Printf("GHRP            %d dead-predicted evictions, %d LRU evictions\n", dead, lru)

@@ -30,6 +30,7 @@ import (
 	"ghrpsim/internal/core"
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/obs"
+	"ghrpsim/internal/resultcache"
 	"ghrpsim/internal/sim"
 	"ghrpsim/internal/trace"
 	"ghrpsim/internal/workload"
@@ -211,6 +212,7 @@ const (
 	RunWorkloadDone   = obs.WorkloadDone
 	RunWorkloadFailed = obs.WorkloadFailed
 	RunDone           = obs.RunDone
+	RunPolicyCached   = obs.PolicyCached
 )
 
 // Multi fans each run event out to every non-nil observer.
@@ -224,6 +226,23 @@ const ExecSeedZero = sim.ExecSeedZero
 // lines to w (e.g. os.Stderr).
 func NewRunProgress(w io.Writer, interval time.Duration) RunObserver {
 	return obs.NewProgress(w, interval)
+}
+
+// ResultCache is the content-addressed on-disk result cache: attach one
+// via Options.Cache so repeat runs, sweeps and ablations skip
+// already-simulated (workload, policy, config) cells.
+type ResultCache = resultcache.Cache
+
+// ResultCacheKey is one cache entry's content-addressed key.
+type ResultCacheKey = resultcache.Key
+
+// OpenResultCache opens (creating if needed) a result cache directory.
+func OpenResultCache(dir string) (*ResultCache, error) { return resultcache.Open(dir) }
+
+// ResultCacheKeyFor computes the content-addressed key for one
+// (workload, config, policy, seed, budget) simulation cell.
+func ResultCacheKeyFor(spec Spec, cfg Config, kind PolicyKind, execSeed, target uint64) (ResultCacheKey, error) {
+	return resultcache.KeyFor(spec, cfg, kind, execSeed, target)
 }
 
 // Run simulates a workload suite across policies in parallel.

@@ -199,8 +199,14 @@ func (e *Engine) ICache() *cache.Cache { return e.icache }
 // BTB exposes the simulated BTB.
 func (e *Engine) BTB() *btb.BTB { return e.ibtb }
 
-// GHRP returns the GHRP I-cache policy, or nil for other policies.
-func (e *Engine) GHRP() *core.ICachePolicy { return e.ghrp }
+// GHRP returns the GHRP I-cache policy, or nil for other policies (and
+// on a nil receiver).
+func (e *Engine) GHRP() *core.ICachePolicy {
+	if e == nil { // callers that load a cached Result have no engine
+		return nil
+	}
+	return e.ghrp
+}
 
 // BranchPredictor exposes the direction predictor.
 func (e *Engine) BranchPredictor() *perceptron.Predictor { return e.bpred }

@@ -1,0 +1,83 @@
+package frontend
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// fillUnique sets every leaf field of a struct to a distinct nonzero
+// value, failing the test if any field cannot be set (an unexported or
+// unsupported field would silently not survive JSON, which is exactly
+// the regression this test exists to catch).
+func fillUnique(t *testing.T, v reflect.Value, next *uint64, path string) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			if !f.IsExported() {
+				t.Fatalf("%s.%s is unexported and would not survive JSON serialization", path, f.Name)
+			}
+			fillUnique(t, v.Field(i), next, path+"."+f.Name)
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*next++
+		n := *next
+		if v.OverflowUint(n) {
+			n %= 1 << (8 * v.Type().Size())
+		}
+		v.SetUint(n)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*next++
+		v.SetInt(int64(*next))
+	case reflect.Float32, reflect.Float64:
+		*next++
+		v.SetFloat(float64(*next) + 0.5)
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.String:
+		*next++
+		v.SetString(path)
+	default:
+		t.Fatalf("%s has kind %v; extend the round-trip test before adding such a field to Result", path, v.Kind())
+	}
+}
+
+// The result cache persists frontend.Result as JSON, so every field —
+// including any added later — must survive a marshal/unmarshal cycle
+// exactly. The reflect walk fails the build-time contract early: a new
+// unexported or non-numeric field shows up here before it silently
+// corrupts cache entries.
+func TestResultJSONRoundTrip(t *testing.T) {
+	var res Result
+	var next uint64
+	fillUnique(t, reflect.ValueOf(&res).Elem(), &next, "Result")
+
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != res {
+		t.Errorf("Result did not survive a JSON round trip:\n got %+v\nwant %+v", back, res)
+	}
+}
+
+// The zero value must round-trip too (cache entries for empty runs).
+func TestResultZeroValueRoundTrip(t *testing.T) {
+	blob, err := json.Marshal(Result{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != (Result{}) {
+		t.Errorf("zero Result did not survive a JSON round trip: %+v", back)
+	}
+}

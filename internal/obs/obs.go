@@ -32,6 +32,11 @@ const (
 	WorkloadFailed
 	// RunDone is emitted once, after the last workload completes.
 	RunDone
+	// PolicyCached is emitted instead of PolicyDone when one (workload,
+	// policy) cell is served from the on-disk result cache rather than
+	// simulated; Records and Instructions carry the cached result's
+	// counters.
+	PolicyCached
 )
 
 // String names the event kind.
@@ -51,6 +56,8 @@ func (k EventKind) String() string {
 		return "workload-failed"
 	case RunDone:
 		return "run-done"
+	case PolicyCached:
+		return "policy-cached"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -77,6 +84,9 @@ type Event struct {
 	// started.
 	Elapsed time.Duration
 	Err     error // WorkloadFailed only
+	// CacheMiss marks a PolicyDone whose replay was simulated after a
+	// result-cache lookup missed (false when no cache is attached).
+	CacheMiss bool
 }
 
 // Observer consumes progress events. Observers attached to a parallel
@@ -140,6 +150,11 @@ type RunStats struct {
 	// time across workers and so exceed Wall on parallel runs.
 	Wall      time.Duration
 	Workloads []WorkloadStats // ordered by workload index
+	// CacheHits counts (workload, policy) cells served from the result
+	// cache; CacheMisses counts cells simulated after a cache lookup
+	// missed. Both stay zero when no cache is attached to the run.
+	CacheHits   int
+	CacheMisses int
 }
 
 // TotalRecords sums the records replayed across all workloads and
@@ -199,6 +214,9 @@ func (r *RunStats) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "run: %d workloads in %s, %d records, %s rec/s",
 		len(r.Workloads), r.Wall.Round(time.Millisecond), r.TotalRecords(), siCount(r.RecordsPerSec()))
+	if r.CacheHits > 0 || r.CacheMisses > 0 {
+		fmt.Fprintf(&b, ", cache %d/%d hits", r.CacheHits, r.CacheHits+r.CacheMisses)
+	}
 	if failed := r.Failed(); len(failed) > 0 {
 		fmt.Fprintf(&b, ", %d failed", len(failed))
 	}
@@ -213,9 +231,11 @@ func (r *RunStats) Render() string {
 // Collector aggregates events into RunStats. It is safe for concurrent
 // use; pass its Observe method (possibly via Multi) to a run.
 type Collector struct {
-	mu        sync.Mutex
-	wall      time.Duration
-	workloads map[int]*WorkloadStats
+	mu          sync.Mutex
+	wall        time.Duration
+	workloads   map[int]*WorkloadStats
+	cacheHits   int
+	cacheMisses int
 }
 
 // NewCollector returns an empty collector.
@@ -238,6 +258,15 @@ func (c *Collector) Observe(e Event) {
 		})
 		w.Records += e.Records
 		w.Instructions += e.Instructions
+		if e.CacheMiss {
+			c.cacheMisses++
+		}
+	case PolicyCached:
+		// Cached cells create the workload slot (so fully-cached
+		// workloads still appear in the stats) but contribute no replay
+		// throughput: nothing was simulated.
+		c.workload(e)
+		c.cacheHits++
 	case WorkloadDone:
 		c.workload(e).Wall = e.Elapsed
 	case WorkloadFailed:
@@ -265,7 +294,12 @@ func (c *Collector) workload(e Event) *WorkloadStats {
 func (c *Collector) Stats() *RunStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := &RunStats{Wall: c.wall, Workloads: make([]WorkloadStats, 0, len(c.workloads))}
+	out := &RunStats{
+		Wall:        c.wall,
+		Workloads:   make([]WorkloadStats, 0, len(c.workloads)),
+		CacheHits:   c.cacheHits,
+		CacheMisses: c.cacheMisses,
+	}
 	for _, w := range c.workloads {
 		out.Workloads = append(out.Workloads, *w)
 	}
@@ -301,6 +335,7 @@ type progress struct {
 	total     int
 	done      int
 	failed    int
+	cached    int    // policy cells served from the result cache
 	records   uint64 // records of completed policy replays
 	inFlight  map[[2]int]uint64
 }
@@ -323,6 +358,8 @@ func (p *progress) observe(e Event) {
 	case PolicyDone:
 		delete(p.inFlight, key)
 		p.records += e.Records
+	case PolicyCached:
+		p.cached++
 	case WorkloadDone:
 		p.done++
 	case WorkloadFailed:
@@ -345,6 +382,9 @@ func (p *progress) observe(e Event) {
 	}
 	fmt.Fprintf(p.w, "progress: %d/%d workloads, %s records, %s rec/s, %s elapsed",
 		p.done, p.total, siCount(float64(records)), siCount(rate), elapsed.Round(time.Second))
+	if p.cached > 0 {
+		fmt.Fprintf(p.w, ", %d cached", p.cached)
+	}
 	if p.failed > 0 {
 		fmt.Fprintf(p.w, ", %d failed", p.failed)
 	}

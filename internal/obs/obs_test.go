@@ -33,6 +33,7 @@ func TestEventKindString(t *testing.T) {
 		WorkloadDone:   "workload-done",
 		WorkloadFailed: "workload-failed",
 		RunDone:        "run-done",
+		PolicyCached:   "policy-cached",
 	}
 	for k, want := range kinds {
 		if got := k.String(); got != want {
@@ -111,6 +112,58 @@ func TestCollector(t *testing.T) {
 	}
 }
 
+// Cache hits and misses flow from the event stream into RunStats: a
+// PolicyCached event counts a hit and creates the workload's stats slot
+// (so fully-cached workloads still appear) without adding replay
+// throughput; a PolicyDone with CacheMiss counts a miss.
+func TestCollectorCacheCounters(t *testing.T) {
+	c := NewCollector()
+	events := []Event{
+		{Kind: RunStart, Workloads: 2, Policies: 2},
+		// w0 fully cached: no simulation at all.
+		{Kind: PolicyCached, Workload: "w0", WorkloadIndex: 0, Policy: "LRU", PolicyIndex: 0, Records: 100},
+		{Kind: PolicyCached, Workload: "w0", WorkloadIndex: 0, Policy: "GHRP", PolicyIndex: 1, Records: 100},
+		{Kind: WorkloadDone, Workload: "w0", WorkloadIndex: 0, Elapsed: time.Millisecond},
+		// w1 half cached.
+		{Kind: PolicyCached, Workload: "w1", WorkloadIndex: 1, Policy: "LRU", PolicyIndex: 0, Records: 200},
+		{Kind: PolicyDone, Workload: "w1", WorkloadIndex: 1, Policy: "GHRP", PolicyIndex: 1,
+			Records: 200, Instructions: 2000, Elapsed: time.Second, CacheMiss: true},
+		{Kind: WorkloadDone, Workload: "w1", WorkloadIndex: 1, Elapsed: time.Second},
+		{Kind: RunDone, Workloads: 2, Elapsed: time.Second},
+	}
+	for _, e := range events {
+		c.Observe(e)
+	}
+	s := c.Stats()
+	if s.CacheHits != 3 || s.CacheMisses != 1 {
+		t.Errorf("cache counters %d/%d, want 3/1", s.CacheHits, s.CacheMisses)
+	}
+	if len(s.Workloads) != 2 {
+		t.Fatalf("%d workload slots, want 2 (cached workloads must still appear)", len(s.Workloads))
+	}
+	if w0 := s.Workloads[0]; w0.Name != "w0" || len(w0.Policies) != 0 || w0.Records != 0 {
+		t.Errorf("fully cached workload gained replay stats: %+v", w0)
+	}
+	if got := s.TotalRecords(); got != 200 {
+		t.Errorf("total records %d, want 200 (cached cells contribute no replay throughput)", got)
+	}
+	out := s.Render()
+	if !strings.Contains(out, "cache 3/4 hits") {
+		t.Errorf("render missing cache summary:\n%s", out)
+	}
+}
+
+// Runs without a cache must not mention the cache in the summary.
+func TestRenderOmitsCacheWhenUnused(t *testing.T) {
+	c := NewCollector()
+	c.Observe(Event{Kind: PolicyDone, Workload: "w0", Policy: "LRU", Records: 10, Elapsed: time.Second})
+	c.Observe(Event{Kind: WorkloadDone, Workload: "w0", Elapsed: time.Second})
+	c.Observe(Event{Kind: RunDone, Workloads: 1, Elapsed: time.Second})
+	if out := c.Stats().Render(); strings.Contains(out, "cache") {
+		t.Errorf("render mentions cache on an uncached run:\n%s", out)
+	}
+}
+
 func TestPolicyStatsZeroWall(t *testing.T) {
 	if got := (PolicyStats{Records: 10}).RecordsPerSec(); got != 0 {
 		t.Errorf("zero-wall rec/s %v", got)
@@ -162,6 +215,26 @@ func TestProgressRateLimit(t *testing.T) {
 	p(Event{Kind: RunDone, Workloads: 2, Elapsed: 3 * time.Second})
 	if !strings.Contains(b.String(), "2/2 workloads") {
 		t.Errorf("final line: %q", b.String())
+	}
+}
+
+// Cached cells surface in the progress line without counting as replayed
+// records.
+func TestProgressShowsCached(t *testing.T) {
+	var b strings.Builder
+	clock := time.Unix(0, 0)
+	p := newProgress(&b, time.Second, func() time.Time { return clock })
+	p(Event{Kind: RunStart, Workloads: 1})
+	p(Event{Kind: PolicyCached, WorkloadIndex: 0, PolicyIndex: 0, Records: 5000})
+	p(Event{Kind: PolicyDone, WorkloadIndex: 0, PolicyIndex: 1, Records: 1000})
+	p(Event{Kind: WorkloadDone, WorkloadIndex: 0})
+	p(Event{Kind: RunDone, Workloads: 1, Elapsed: time.Second})
+	line := b.String()
+	if !strings.Contains(line, "1 cached") {
+		t.Errorf("progress line missing cached count: %q", line)
+	}
+	if !strings.Contains(line, "1.0k records") {
+		t.Errorf("cached records leaked into replay throughput: %q", line)
 	}
 }
 

@@ -1,0 +1,182 @@
+// Package resultcache is a content-addressed on-disk cache of
+// simulation results. The experiment harness evaluates a grid of
+// (workload, policy, configuration) cells, and many entry points —
+// the Fig. 7 configuration sweep, the ablations, repeated CLI runs —
+// re-simulate cells an earlier run already computed (an ablation's
+// "paper default" variant is bit-identical to the baseline run, and the
+// sweep's 64KB/8-way column is the main suite's configuration). Because
+// every simulation is deterministic in (workload profile, execution
+// seed, instruction target, front-end configuration, policy), a result
+// can be keyed by a hash of exactly those inputs and replayed from disk
+// instead of re-simulated.
+//
+// Layout: each entry is one JSON file under dir/<hh>/<hash>.json, where
+// hash is the SHA-256 of the cell's canonical JSON encoding and hh its
+// first two hex digits (a shard level that keeps directories small on
+// 662-workload grids). Writes go through a temp file and rename, so
+// concurrent readers never observe a partial entry. Unreadable or
+// mismatched entries are treated as misses and overwritten, never
+// surfaced as errors; only Put reports I/O failures.
+//
+// FormatVersion is part of every key: bump it whenever the simulator's
+// observable results change (a new Result field, a semantic fix), which
+// orphans stale entries instead of replaying them.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/workload"
+)
+
+// FormatVersion is the cache schema version, hashed into every key.
+// Bump it when simulation semantics or the Result layout change.
+const FormatVersion = 1
+
+// Key addresses one simulation cell: a hex SHA-256 over the cell's
+// canonical JSON encoding.
+type Key string
+
+// cell is everything that determines one simulation result. The record
+// stream is a pure function of (Profile, ExecSeed, Target) and the
+// replay a pure function of the stream, Config and Policy, so hashing
+// these fields (plus the schema version) is sound.
+type cell struct {
+	Version  int
+	Profile  workload.Profile
+	Target   uint64 // scaled instruction budget (Options.Scale applied)
+	ExecSeed uint64
+	Policy   string
+	Config   frontend.Config
+}
+
+// KeyFor computes the cache key for one (workload, policy) cell. Target
+// is the scaled instruction budget, not the raw scale factor, so two
+// runs whose scales yield the same budget share entries.
+func KeyFor(spec workload.Spec, cfg frontend.Config, kind frontend.PolicyKind, execSeed, target uint64) (Key, error) {
+	blob, err := json.Marshal(cell{
+		Version:  FormatVersion,
+		Profile:  spec.Profile,
+		Target:   target,
+		ExecSeed: execSeed,
+		Policy:   kind.String(),
+		Config:   cfg,
+	})
+	if err != nil {
+		return "", fmt.Errorf("resultcache: encoding key: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return Key(hex.EncodeToString(sum[:])), nil
+}
+
+// entry is the on-disk record: the result plus enough metadata to
+// reject stale or foreign files.
+type entry struct {
+	Version int
+	Key     Key
+	Result  frontend.Result
+}
+
+// Cache is an on-disk result cache rooted at one directory. It is safe
+// for concurrent use by multiple goroutines and multiple processes:
+// entries are immutable once written and writes are atomic renames.
+type Cache struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path shards entries by the key's first two hex digits.
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, string(key[:2]), string(key)+".json")
+}
+
+// Get returns the cached result for key. A missing, unreadable, stale
+// or mismatched entry is a miss, never an error: the caller re-simulates
+// and Put overwrites the bad entry.
+func (c *Cache) Get(key Key) (frontend.Result, bool) {
+	if len(key) < 2 {
+		return frontend.Result{}, false
+	}
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return frontend.Result{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(blob, &e); err != nil || e.Version != FormatVersion || e.Key != key {
+		return frontend.Result{}, false
+	}
+	return e.Result, true
+}
+
+// Put stores one result under key, atomically: the entry is written to
+// a temp file in the destination directory and renamed into place, so a
+// concurrent Get sees either nothing or the complete entry.
+func (c *Cache) Put(key Key, res frontend.Result) error {
+	if len(key) < 2 {
+		return fmt.Errorf("resultcache: invalid key %q", key)
+	}
+	dst := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	blob, err := json.MarshalIndent(entry{Version: FormatVersion, Key: key, Result: res}, "", "\t")
+	if err != nil {
+		return fmt.Errorf("resultcache: encoding entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+string(key[:8])+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	return nil
+}
+
+// Len walks the cache and counts stored entries (a maintenance helper
+// for tests and CLI reporting, not a hot path).
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("resultcache: %w", err)
+	}
+	return n, nil
+}

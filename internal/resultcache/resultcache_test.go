@@ -1,0 +1,193 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/workload"
+)
+
+func testResult(kind frontend.PolicyKind) frontend.Result {
+	res := frontend.Result{
+		Policy:            kind,
+		TotalInstructions: 123_456,
+		CountedInstrs:     61_728,
+		Records:           9_876,
+	}
+	res.ICache.Accesses = 40_000
+	res.ICache.Hits = 39_000
+	res.ICache.Misses = 1_000
+	res.BTB.Accesses = 8_000
+	res.BTB.Misses = 120
+	res.Branch.Predictions = 9_000
+	res.Branch.Mispredictions = 321
+	return res
+}
+
+func testSpec() workload.Spec { return workload.SuiteN(2)[0] }
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := frontend.DefaultConfig()
+	key, err := KeyFor(testSpec(), cfg, frontend.PolicyGHRP, 1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := testResult(frontend.PolicyGHRP)
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got != want {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v, want 1", n, err)
+	}
+}
+
+// Every key input must feed the hash: changing any one of them yields a
+// different key, while recomputation is stable.
+func TestKeySensitivity(t *testing.T) {
+	spec := testSpec()
+	cfg := frontend.DefaultConfig()
+	base, err := KeyFor(spec, cfg, frontend.PolicyLRU, 1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := KeyFor(spec, cfg, frontend.PolicyLRU, 1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again {
+		t.Fatal("key not deterministic")
+	}
+	if len(base) != 64 {
+		t.Fatalf("key length %d, want 64 hex digits", len(base))
+	}
+
+	otherCfg := cfg
+	otherCfg.ICache.SizeBytes = 32 * 1024
+	wrongPath := cfg
+	wrongPath.WrongPath = frontend.WrongPathInject
+	variants := map[string]func() (Key, error){
+		"policy":   func() (Key, error) { return KeyFor(spec, cfg, frontend.PolicyGHRP, 1, 50_000) },
+		"seed":     func() (Key, error) { return KeyFor(spec, cfg, frontend.PolicyLRU, 2, 50_000) },
+		"target":   func() (Key, error) { return KeyFor(spec, cfg, frontend.PolicyLRU, 1, 60_000) },
+		"config":   func() (Key, error) { return KeyFor(spec, otherCfg, frontend.PolicyLRU, 1, 50_000) },
+		"wrongpth": func() (Key, error) { return KeyFor(spec, wrongPath, frontend.PolicyLRU, 1, 50_000) },
+		"workload": func() (Key, error) { return KeyFor(workload.SuiteN(2)[1], cfg, frontend.PolicyLRU, 1, 50_000) },
+	}
+	seen := map[Key]string{base: "base"}
+	for name, fn := range variants {
+		k, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// Corrupt, stale-version and truncated entries must read as misses, and
+// Put must repair them.
+func TestCorruptEntryIsMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := KeyFor(testSpec(), frontend.DefaultConfig(), frontend.PolicySRRIP, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, testResult(frontend.PolicySRRIP)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(key)
+	for name, blob := range map[string][]byte{
+		"truncated": []byte(`{"Version":1,"Key":"`),
+		"not-json":  []byte("hello"),
+		"stale":     []byte(`{"Version":0,"Key":"` + string(key) + `","Result":{}}`),
+		"foreign":   []byte(`{"Version":1,"Key":"0000","Result":{}}`),
+	} {
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Errorf("%s entry served as a hit", name)
+		}
+	}
+	if err := c.Put(key, testResult(frontend.PolicySRRIP)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Error("Put did not repair the corrupt entry")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty directory accepted")
+	}
+}
+
+func TestOpenCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		t.Errorf("cache dir not created: %v", err)
+	}
+}
+
+// Concurrent writers and readers on overlapping keys must never observe
+// a partial entry (exercised under -race by make race-smoke).
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := frontend.DefaultConfig()
+	kinds := frontend.PaperPolicies()
+	keys := make([]Key, len(kinds))
+	for i, k := range kinds {
+		if keys[i], err = KeyFor(testSpec(), cfg, k, 1, 10_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				for i, k := range kinds {
+					if err := c.Put(keys[i], testResult(k)); err != nil {
+						t.Error(err)
+						return
+					}
+					if res, ok := c.Get(keys[i]); ok && res != testResult(k) {
+						t.Errorf("partial or wrong entry for %v", k)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

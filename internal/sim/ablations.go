@@ -18,7 +18,11 @@ type AblationRow struct {
 }
 
 // ghrpVariant runs the suite with only the GHRP policy under a modified
-// configuration and returns the mean MPKIs.
+// configuration and returns the mean MPKIs. The base options (including
+// any attached result cache) flow through unchanged, so ablation
+// variants whose mutation reproduces the paper-default configuration —
+// e.g. "3 tables (paper)" or "bypass-on (paper)" — reuse cells an
+// earlier run already simulated instead of replaying them.
 func ghrpVariant(ctx context.Context, base Options, name string, mutate func(*frontend.Config)) (AblationRow, error) {
 	opts := base
 	if opts.Config.ICache == (frontend.ICacheConfig{}) {

@@ -273,7 +273,10 @@ func Fig7Configs() []frontend.ICacheConfig {
 }
 
 // RunSweep measures mean I-cache MPKI for each configuration. Each
-// configuration is a full (cancellable) suite run.
+// configuration is a full (cancellable) suite run. When base.Cache is
+// set, configurations already simulated — including the paper-default
+// geometry a preceding main run covered — are served from the result
+// cache instead of replayed.
 func RunSweep(ctx context.Context, base Options, configs []frontend.ICacheConfig) ([]SweepRow, error) {
 	rows := make([]SweepRow, 0, len(configs))
 	for _, ic := range configs {
@@ -521,11 +524,4 @@ func SortedCopy(xs []float64) []float64 {
 	out := append([]float64(nil), xs...)
 	sort.Float64s(out)
 	return out
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -7,6 +7,7 @@ import (
 
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/opt"
+	"ghrpsim/internal/resultcache"
 	"ghrpsim/internal/stats"
 	"ghrpsim/internal/trace"
 	"ghrpsim/internal/workload"
@@ -38,7 +39,11 @@ type HeadroomReport struct {
 // RunContext, the OPT oracle needs the whole access stream at once, so
 // each workload's records are buffered (one workload at a time); the
 // context is checked between workloads and per-workload failures abort
-// the computation.
+// the computation. The online-policy replays share the result cache
+// with RunContext when opts.Cache is set — the buffered replay is
+// bit-identical to the streaming one, so cells a main suite run already
+// simulated are loaded instead of replayed (the OPT pass itself is
+// never cached: its state is not a frontend.Result).
 func ComputeHeadroom(ctx context.Context, opts Options) (HeadroomReport, error) {
 	opts, err := opts.prepare()
 	if err != nil {
@@ -68,12 +73,12 @@ func ComputeHeadroom(ctx context.Context, opts Options) (HeadroomReport, error) 
 			return HeadroomReport{}, err
 		}
 		warm := opts.Config.WarmupFor(total)
+		target := targetFor(spec, opts.Scale)
 		for _, k := range opts.Policies {
-			e, err := frontend.NewEngine(opts.Config, k, warm)
+			res, err := headroomPolicyResult(opts, spec, k, target, warm, recs)
 			if err != nil {
 				return HeadroomReport{}, err
 			}
-			res := e.Run(recs)
 			polV[k][wi] = res.ICacheMPKI()
 			if k == frontend.PolicyLRU {
 				lruV[wi] = res.ICacheMPKI()
@@ -120,6 +125,36 @@ func ComputeHeadroom(ctx context.Context, opts Options) (HeadroomReport, error) 
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
+}
+
+// headroomPolicyResult produces one (workload, policy) cell for the
+// headroom report, consulting and filling the result cache when one is
+// attached. The buffered e.Run replay over the same stream and warm-up
+// window is bit-identical to RunContext's streaming replay, so the two
+// entry points share cache entries.
+func headroomPolicyResult(opts Options, spec workload.Spec, k frontend.PolicyKind, target, warm uint64, recs []trace.Record) (frontend.Result, error) {
+	var key resultcache.Key
+	if opts.Cache != nil {
+		var err error
+		key, err = resultcache.KeyFor(spec, opts.Config, k, opts.ExecSeed, target)
+		if err != nil {
+			return frontend.Result{}, err
+		}
+		if res, ok := opts.Cache.Get(key); ok && res.Policy == k {
+			return res, nil
+		}
+	}
+	e, err := frontend.NewEngine(opts.Config, k, warm)
+	if err != nil {
+		return frontend.Result{}, err
+	}
+	res := e.Run(recs)
+	if opts.Cache != nil {
+		if err := opts.Cache.Put(key, res); err != nil {
+			return frontend.Result{}, err
+		}
+	}
+	return res, nil
 }
 
 // specRecords generates one workload's record stream per the run options.

@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/obs"
+	"ghrpsim/internal/resultcache"
 	"ghrpsim/internal/workload"
 )
 
@@ -34,7 +36,10 @@ type Options struct {
 	// Scale multiplies each workload's default instruction budget;
 	// defaults to 1.0.
 	Scale float64
-	// Parallelism bounds concurrent workloads; defaults to GOMAXPROCS.
+	// Parallelism bounds concurrent simulation tasks. The scheduler is
+	// flattened: each (workload, policy) pair is one independent task,
+	// so a long workload's replays spread across workers instead of
+	// serializing behind one core. Defaults to GOMAXPROCS.
 	Parallelism int
 	// ExecSeed seeds workload execution (fixed across policies so every
 	// policy replays the identical trace). The zero value means "unset"
@@ -49,6 +54,13 @@ type Options struct {
 	// cancellation polls during one policy's replay; defaults to
 	// frontend.DefaultProgressEvery.
 	ProgressEvery uint64
+	// Cache, when non-nil, is consulted before each (workload, policy)
+	// task and filled after it: cells already simulated under the
+	// identical (profile, seed, budget, config, policy) key are loaded
+	// from disk instead of replayed, which makes sweeps, ablations and
+	// repeat runs skip their redundant baseline cells. Hits are
+	// reported via obs.PolicyCached events and RunStats cache counters.
+	Cache *resultcache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -124,8 +136,9 @@ type Measurements struct {
 	BTBMPKI    map[frontend.PolicyKind][]float64
 	BranchMPKI []float64
 	Raw        []WorkloadResult
-	// Stats holds the run's observability data: wall time and
-	// per-workload / per-policy throughput.
+	// Stats holds the run's observability data: wall time,
+	// per-workload / per-policy throughput, and result-cache hit and
+	// miss counts.
 	Stats *obs.RunStats
 }
 
@@ -144,18 +157,64 @@ func Run(opts Options) (*Measurements, error) {
 	return RunContext(context.Background(), opts)
 }
 
-// RunContext simulates every workload under every policy. Each
-// workload's deterministic branch stream is re-emitted per policy
-// (streaming replay, no per-workload record buffer), so policies are
-// compared on identical streams. Workload failures are aggregated with
-// errors.Join rather than truncated to the first; a context cancellation
-// aborts in-flight replays promptly and is reported via ctx.Err().
+// task is one unit of scheduler work: replay workload wi under policy pi.
+type task struct{ wi, pi int }
+
+// wlState is the shared per-workload state behind a workload's policy
+// tasks: the generated program and warm-up window (produced once by
+// whichever task arrives first), the remaining-task counter that
+// triggers WorkloadDone/WorkloadFailed, and the first error.
+type wlState struct {
+	startOnce sync.Once // emits WorkloadStart
+	prepOnce  sync.Once // Generate + counting pre-pass
+	start     time.Time
+	started   atomic.Bool
+	prog      *workload.Program
+	warm      uint64
+	prepErr   error
+	pending   atomic.Int32 // tasks not yet finished
+	mu        sync.Mutex
+	err       error // first task error
+}
+
+// fail records the workload's first error.
+func (st *wlState) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+}
+
+// runState carries one RunContext invocation's shared pieces.
+type runState struct {
+	opts    Options
+	out     *Measurements
+	states  []wlState
+	errs    []error // one slot per workload, joined after the wait
+	observe obs.Observer
+}
+
+// RunContext simulates every workload under every policy. The schedule
+// is a flat queue of (workload, policy) tasks drained by
+// Options.Parallelism workers: each policy replay is an independent
+// task, so a few long workloads no longer serialize their own replays
+// behind one core, while the workload's program generation and counting
+// pre-pass still run exactly once (shared through a per-workload
+// sync.Once prep stage). Each task's deterministic branch stream is
+// re-emitted from the program (streaming replay, no per-workload record
+// buffer), so policies are compared on identical streams and results
+// are bit-identical at any parallelism. Workload failures are
+// aggregated with errors.Join rather than truncated to the first; a
+// context cancellation aborts in-flight replays promptly and is
+// reported via ctx.Err(), with every unfinished workload still emitting
+// a WorkloadFailed event so RunStats accounts for the whole suite.
 func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	opts, err := opts.prepare()
 	if err != nil {
 		return nil, err
 	}
-	n := len(opts.Workloads)
+	n, np := len(opts.Workloads), len(opts.Policies)
 	out := &Measurements{
 		Options:    opts,
 		Specs:      opts.Workloads,
@@ -171,62 +230,63 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	}
 
 	collector := obs.NewCollector()
-	observe := obs.Multi(collector.Observe, opts.Observer)
+	r := &runState{
+		opts:    opts,
+		out:     out,
+		states:  make([]wlState, n),
+		errs:    make([]error, n),
+		observe: obs.Multi(collector.Observe, opts.Observer),
+	}
+	for wi := range r.states {
+		r.states[wi].pending.Store(int32(np))
+		// Result slots are preallocated so tasks write disjoint elements
+		// without a lock.
+		out.Raw[wi] = WorkloadResult{Spec: opts.Workloads[wi], Results: make([]frontend.Result, np)}
+	}
 	runStart := time.Now()
-	observe(obs.Event{Kind: obs.RunStart, Workloads: n, Policies: len(opts.Policies)})
+	r.observe(obs.Event{Kind: obs.RunStart, Workloads: n, Policies: np})
 
-	var (
-		wg   sync.WaitGroup
-		sem  = make(chan struct{}, opts.Parallelism)
-		mu   sync.Mutex
-		errs = make([]error, n) // one slot per workload, joined after the wait
-	)
-	for wi := range opts.Workloads {
+	// Every task is queued up front (workload-major, so at Parallelism 1
+	// the schedule matches the old per-workload order and a workload's
+	// program is released as soon as its last policy finishes). Workers
+	// that observe a cancelled context drain the queue without
+	// simulating, so every task is accounted for exactly once.
+	tasks := make(chan task, n*np)
+	for wi := 0; wi < n; wi++ {
+		for pi := 0; pi < np; pi++ {
+			tasks <- task{wi, pi}
+		}
+	}
+	close(tasks)
+
+	workers := opts.Parallelism
+	if workers > n*np {
+		workers = n * np
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func(wi int) {
+		go func() {
 			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				return
-			}
-			defer func() { <-sem }()
-			spec := opts.Workloads[wi]
-			observe(obs.Event{Kind: obs.WorkloadStart, Workload: spec.Name, WorkloadIndex: wi,
-				Workloads: n, Policies: len(opts.Policies)})
-			start := time.Now()
-			res, err := runWorkload(ctx, opts, wi, spec, observe)
-			if err != nil {
-				observe(obs.Event{Kind: obs.WorkloadFailed, Workload: spec.Name, WorkloadIndex: wi,
-					Workloads: n, Elapsed: time.Since(start), Err: err})
-				// Cancellation is reported once via ctx.Err() below, not
-				// once per aborted workload.
-				if ctx.Err() == nil || !errors.Is(err, ctx.Err()) {
-					errs[wi] = fmt.Errorf("sim: workload %s: %w", spec.Name, err)
+			for t := range tasks {
+				if err := ctx.Err(); err != nil {
+					r.states[t.wi].fail(err)
+				} else if err := r.runTask(ctx, t); err != nil {
+					r.states[t.wi].fail(err)
 				}
-				return
+				r.finishTask(ctx, t.wi)
 			}
-			observe(obs.Event{Kind: obs.WorkloadDone, Workload: spec.Name, WorkloadIndex: wi,
-				Workloads: n, Elapsed: time.Since(start)})
-			mu.Lock()
-			defer mu.Unlock()
-			out.Raw[wi] = res
-			for pi, k := range opts.Policies {
-				out.ICacheMPKI[k][wi] = res.Results[pi].ICacheMPKI()
-				out.BTBMPKI[k][wi] = res.Results[pi].BTBMPKI()
-			}
-			out.BranchMPKI[wi] = res.Results[0].BranchMPKI()
-		}(wi)
+		}()
 	}
 	wg.Wait()
-	observe(obs.Event{Kind: obs.RunDone, Workloads: n, Elapsed: time.Since(runStart)})
+	r.observe(obs.Event{Kind: obs.RunDone, Workloads: n, Elapsed: time.Since(runStart)})
 	out.Stats = collector.Stats()
 
 	all := make([]error, 0, n+1)
 	if err := ctx.Err(); err != nil {
 		all = append(all, err)
 	}
-	for _, e := range errs {
+	for _, e := range r.errs {
 		if e != nil {
 			all = append(all, e)
 		}
@@ -237,49 +297,147 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	return out, nil
 }
 
-// runWorkload replays one workload's deterministic stream once per
-// policy. A first streaming pass counts the stream's instructions so
-// the warm-up window matches the buffered SimulateRecords path exactly;
-// no record slice is materialized at any point.
-func runWorkload(ctx context.Context, opts Options, wi int, spec workload.Spec, observe obs.Observer) (WorkloadResult, error) {
-	prog, err := spec.Generate()
-	if err != nil {
-		return WorkloadResult{}, err
-	}
+// runTask executes one (workload, policy) cell: result-cache lookup,
+// shared prep (program generation + counting pre-pass, run by whichever
+// of the workload's tasks gets here first), streaming replay, and
+// cache fill.
+func (r *runState) runTask(ctx context.Context, t task) error {
+	opts := r.opts
+	st := &r.states[t.wi]
+	spec := opts.Workloads[t.wi]
+	kind := opts.Policies[t.pi]
+	n, np := len(opts.Workloads), len(opts.Policies)
 	target := targetFor(spec, opts.Scale)
-	counting := frontend.StreamOptions{
-		ProgressEvery: opts.ProgressEvery,
-		Progress:      func(records, instructions uint64) error { return ctx.Err() },
+
+	st.startOnce.Do(func() {
+		st.start = time.Now()
+		st.started.Store(true)
+		r.observe(obs.Event{Kind: obs.WorkloadStart, Workload: spec.Name, WorkloadIndex: t.wi,
+			Workloads: n, Policies: np})
+	})
+
+	// A sibling task already failed this workload: don't burn a worker
+	// on a replay whose result would be discarded.
+	st.mu.Lock()
+	werr := st.err
+	st.mu.Unlock()
+	if werr != nil {
+		return werr
 	}
-	total, _, err := frontend.CountProgram(opts.Config, prog, opts.ExecSeed, target, counting)
-	if err != nil {
-		return WorkloadResult{}, err
-	}
-	warm := opts.Config.WarmupFor(total)
-	wr := WorkloadResult{Spec: spec, Results: make([]frontend.Result, len(opts.Policies))}
-	for pi, kind := range opts.Policies {
-		pi, kind := pi, kind
-		start := time.Now()
-		so := frontend.StreamOptions{
-			ProgressEvery: opts.ProgressEvery,
-			Progress: func(records, instructions uint64) error {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				observe(obs.Event{Kind: obs.Tick, Workload: spec.Name, WorkloadIndex: wi,
-					Policy: kind.String(), PolicyIndex: pi, Policies: len(opts.Policies),
-					Records: records, Instructions: instructions, Elapsed: time.Since(start)})
-				return nil
-			},
-		}
-		res, err := frontend.SimulateProgramStream(opts.Config, kind, prog, opts.ExecSeed, target, warm, so)
+
+	// The cache key depends only on the cell's inputs, so a hit skips
+	// not just the replay but (when every policy hits) the workload's
+	// whole prep stage.
+	var key resultcache.Key
+	cacheMiss := false
+	if opts.Cache != nil {
+		var err error
+		key, err = resultcache.KeyFor(spec, opts.Config, kind, opts.ExecSeed, target)
 		if err != nil {
-			return WorkloadResult{}, err
+			return err
 		}
-		wr.Results[pi] = res
-		observe(obs.Event{Kind: obs.PolicyDone, Workload: spec.Name, WorkloadIndex: wi,
-			Policy: kind.String(), PolicyIndex: pi, Policies: len(opts.Policies),
-			Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start)})
+		start := time.Now()
+		if res, ok := opts.Cache.Get(key); ok && res.Policy == kind {
+			r.record(t, res)
+			r.observe(obs.Event{Kind: obs.PolicyCached, Workload: spec.Name, WorkloadIndex: t.wi,
+				Policy: kind.String(), PolicyIndex: t.pi, Policies: np,
+				Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start)})
+			return nil
+		}
+		cacheMiss = true
 	}
-	return wr, nil
+
+	st.prepOnce.Do(func() {
+		prog, err := spec.Generate()
+		if err != nil {
+			st.prepErr = err
+			return
+		}
+		counting := frontend.StreamOptions{
+			ProgressEvery: opts.ProgressEvery,
+			Progress:      func(records, instructions uint64) error { return ctx.Err() },
+		}
+		total, _, err := frontend.CountProgram(opts.Config, prog, opts.ExecSeed, target, counting)
+		if err != nil {
+			st.prepErr = err
+			return
+		}
+		st.prog, st.warm = prog, opts.Config.WarmupFor(total)
+	})
+	if st.prepErr != nil {
+		return st.prepErr
+	}
+
+	start := time.Now()
+	so := frontend.StreamOptions{
+		ProgressEvery: opts.ProgressEvery,
+		Progress: func(records, instructions uint64) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r.observe(obs.Event{Kind: obs.Tick, Workload: spec.Name, WorkloadIndex: t.wi,
+				Policy: kind.String(), PolicyIndex: t.pi, Policies: np,
+				Records: records, Instructions: instructions, Elapsed: time.Since(start)})
+			return nil
+		},
+	}
+	res, err := frontend.SimulateProgramStream(opts.Config, kind, st.prog, opts.ExecSeed, target, st.warm, so)
+	if err != nil {
+		return err
+	}
+	r.record(t, res)
+	r.observe(obs.Event{Kind: obs.PolicyDone, Workload: spec.Name, WorkloadIndex: t.wi,
+		Policy: kind.String(), PolicyIndex: t.pi, Policies: np,
+		Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start),
+		CacheMiss: cacheMiss})
+	if opts.Cache != nil {
+		if err := opts.Cache.Put(key, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record stores one task's result. Every task owns distinct slice
+// elements, so no lock is needed.
+func (r *runState) record(t task, res frontend.Result) {
+	kind := r.opts.Policies[t.pi]
+	r.out.Raw[t.wi].Results[t.pi] = res
+	r.out.ICacheMPKI[kind][t.wi] = res.ICacheMPKI()
+	r.out.BTBMPKI[kind][t.wi] = res.BTBMPKI()
+	if t.pi == 0 {
+		r.out.BranchMPKI[t.wi] = res.BranchMPKI()
+	}
+}
+
+// finishTask retires one task; the workload's last task emits its
+// completion event, releases the shared program, and records the
+// workload error (cancellations are reported once via ctx.Err() by
+// RunContext, not once per aborted workload — but they still emit a
+// WorkloadFailed event so RunStats does not under-report the suite).
+func (r *runState) finishTask(ctx context.Context, wi int) {
+	st := &r.states[wi]
+	if st.pending.Add(-1) != 0 {
+		return
+	}
+	st.prog = nil // release for GC; all of this workload's tasks are done
+	spec := r.opts.Workloads[wi]
+	n := len(r.opts.Workloads)
+	var elapsed time.Duration
+	if st.started.Load() {
+		elapsed = time.Since(st.start)
+	}
+	st.mu.Lock()
+	err := st.err
+	st.mu.Unlock()
+	if err == nil {
+		r.observe(obs.Event{Kind: obs.WorkloadDone, Workload: spec.Name, WorkloadIndex: wi,
+			Workloads: n, Elapsed: elapsed})
+		return
+	}
+	r.observe(obs.Event{Kind: obs.WorkloadFailed, Workload: spec.Name, WorkloadIndex: wi,
+		Workloads: n, Elapsed: elapsed, Err: err})
+	if ctx.Err() == nil || !errors.Is(err, ctx.Err()) {
+		r.errs[wi] = fmt.Errorf("sim: workload %s: %w", spec.Name, err)
+	}
 }

@@ -135,12 +135,31 @@ func TestStreamingMatchesBuffered(t *testing.T) {
 func TestRunContextCancelImmediate(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	m, err := RunContext(ctx, tinyOptions())
+	var (
+		mu     sync.Mutex
+		counts = map[obs.EventKind]int{}
+	)
+	opts := tinyOptions()
+	opts.Observer = func(e obs.Event) {
+		mu.Lock()
+		counts[e.Kind]++
+		mu.Unlock()
+	}
+	m, err := RunContext(ctx, opts)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if m != nil {
 		t.Error("measurements returned despite cancellation")
+	}
+	// Regression: a workload whose tasks were drained without simulating
+	// used to finish silently; every workload must now account for itself
+	// with exactly one WorkloadFailed event.
+	if counts[obs.WorkloadFailed] != len(opts.Workloads) {
+		t.Errorf("%d WorkloadFailed events, want %d", counts[obs.WorkloadFailed], len(opts.Workloads))
+	}
+	if counts[obs.WorkloadStart] != 0 || counts[obs.WorkloadDone] != 0 || counts[obs.PolicyDone] != 0 {
+		t.Errorf("cancelled run still emitted start/done events: %v", counts)
 	}
 }
 

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/obs"
+	"ghrpsim/internal/resultcache"
+	"ghrpsim/internal/workload"
+)
+
+// serialReference simulates opts the slow, obviously-correct way: one
+// buffered GenerateRecords + SimulateRecords pass per (workload, policy)
+// cell, strictly in order, no scheduler involved.
+func serialReference(t *testing.T, opts Options) [][]frontend.Result {
+	t.Helper()
+	opts, err := opts.prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]frontend.Result, len(opts.Workloads))
+	for wi, spec := range opts.Workloads {
+		prog, err := spec.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := frontend.GenerateRecords(prog, opts.ExecSeed, targetFor(spec, opts.Scale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[wi] = make([]frontend.Result, len(opts.Policies))
+		for pi, k := range opts.Policies {
+			res, err := frontend.SimulateRecords(opts.Config, k, recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[wi][pi] = res
+		}
+	}
+	return out
+}
+
+// requireMatchesReference asserts m is bit-identical to the serial
+// reference results, including the derived MPKI vectors.
+func requireMatchesReference(t *testing.T, m *Measurements, ref [][]frontend.Result) {
+	t.Helper()
+	for wi := range ref {
+		for pi, k := range m.Policies {
+			want := ref[wi][pi]
+			if got := m.Raw[wi].Results[pi]; got != want {
+				t.Errorf("%s/%v: diverged from serial reference\n got %+v\nwant %+v",
+					m.Specs[wi].Name, k, got, want)
+			}
+			if m.ICacheMPKI[k][wi] != want.ICacheMPKI() || m.BTBMPKI[k][wi] != want.BTBMPKI() {
+				t.Errorf("%s/%v: MPKI vectors diverged", m.Specs[wi].Name, k)
+			}
+		}
+		if m.BranchMPKI[wi] != ref[wi][0].BranchMPKI() {
+			t.Errorf("%s: branch MPKI diverged", m.Specs[wi].Name)
+		}
+	}
+}
+
+// The flattened (workload x policy) scheduler must produce bit-identical
+// Measurements to the serial reference at Parallelism 1 and GOMAXPROCS.
+func TestSchedulerMatchesSerialReference(t *testing.T) {
+	ref := serialReference(t, tinyOptions())
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		opts := tinyOptions()
+		opts.Parallelism = par
+		m, err := Run(opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		requireMatchesReference(t, m, ref)
+	}
+}
+
+// A warm-cache rerun must be bit-identical to the cold run, serve every
+// cell from the cache, and simulate nothing.
+func TestSchedulerWarmCacheBitIdentical(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tinyOptions()
+	opts.Cache = cache
+
+	cold, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(cold.Specs) * len(cold.Policies)
+	if cold.Stats.CacheHits != 0 || cold.Stats.CacheMisses != cells {
+		t.Fatalf("cold run: %d hits / %d misses, want 0 / %d",
+			cold.Stats.CacheHits, cold.Stats.CacheMisses, cells)
+	}
+	if n, err := cache.Len(); err != nil || n != cells {
+		t.Fatalf("cache holds %d entries (%v), want %d", n, err, cells)
+	}
+
+	var (
+		mu     sync.Mutex
+		counts = map[obs.EventKind]int{}
+	)
+	warmOpts := tinyOptions()
+	warmOpts.Cache = cache
+	warmOpts.Observer = func(e obs.Event) {
+		mu.Lock()
+		counts[e.Kind]++
+		mu.Unlock()
+	}
+	warm, err := Run(warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheHits != cells || warm.Stats.CacheMisses != 0 {
+		t.Fatalf("warm run: %d hits / %d misses, want %d / 0",
+			warm.Stats.CacheHits, warm.Stats.CacheMisses, cells)
+	}
+	if counts[obs.PolicyCached] != cells || counts[obs.PolicyDone] != 0 {
+		t.Errorf("warm run events: %d PolicyCached / %d PolicyDone, want %d / 0",
+			counts[obs.PolicyCached], counts[obs.PolicyDone], cells)
+	}
+	if counts[obs.WorkloadDone] != len(cold.Specs) {
+		t.Errorf("warm run: %d WorkloadDone, want %d", counts[obs.WorkloadDone], len(cold.Specs))
+	}
+
+	// Bit-identical Measurements: raw results, MPKI vectors, branch MPKI.
+	ref := make([][]frontend.Result, len(cold.Raw))
+	for wi := range cold.Raw {
+		ref[wi] = cold.Raw[wi].Results
+	}
+	requireMatchesReference(t, warm, ref)
+
+	// The cold cached run itself must also match the uncached serial
+	// reference: caching must not perturb simulation.
+	requireMatchesReference(t, cold, serialReference(t, tinyOptions()))
+}
+
+// Cache entries must be shared across entry points: a sweep over
+// configurations including the default one reuses the main run's cells,
+// and a repeated sweep is fully cached.
+func TestSweepReusesCachedCells(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{
+		Workloads: workload.SuiteN(3),
+		Scale:     0.02,
+		Policies:  []frontend.PolicyKind{frontend.PolicyLRU, frontend.PolicyGHRP},
+		Cache:     cache,
+	}
+	// Main suite run populates the default-config cells.
+	if _, err := Run(base); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cache.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []frontend.ICacheConfig{
+		frontend.DefaultICache(), // identical to the main run's geometry
+		{SizeBytes: 8 * 1024, BlockBytes: 64, Ways: 4},
+	}
+	rows1, err := RunSweep(context.Background(), base, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew, err := cache.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := after + len(base.Workloads)*len(base.Policies); grew != want {
+		t.Errorf("sweep grew cache to %d entries, want %d (default-config cells reused)", grew, want)
+	}
+	rows2, err := RunSweep(context.Background(), base, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cache.Len(); err != nil || n != grew {
+		t.Errorf("repeat sweep grew cache to %d (%v), want %d", n, err, grew)
+	}
+	for i := range rows1 {
+		for _, k := range base.Policies {
+			if rows1[i].Mean[k] != rows2[i].Mean[k] {
+				t.Errorf("config %v policy %v: cached sweep diverged: %v vs %v",
+					rows1[i].Config, k, rows1[i].Mean[k], rows2[i].Mean[k])
+			}
+		}
+	}
+}
+
+// Headroom shares the runner's cache entries: a main run followed by
+// ComputeHeadroom adds no new cache entries, and the report matches an
+// uncached one bit for bit.
+func TestHeadroomSharesCache(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workloads: workload.SuiteN(3), Scale: 0.05, Cache: cache}
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	n0, err := cache.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := ComputeHeadroom(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1, err := cache.Len(); err != nil || n1 != n0 {
+		t.Errorf("headroom grew cache from %d to %d (%v); every policy cell should hit", n0, n1, err)
+	}
+	plain, err := ComputeHeadroom(context.Background(), Options{Workloads: workload.SuiteN(3), Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.LRUMean != plain.LRUMean || cached.OPTMean != plain.OPTMean {
+		t.Errorf("cached headroom diverged: LRU %v vs %v, OPT %v vs %v",
+			cached.LRUMean, plain.LRUMean, cached.OPTMean, plain.OPTMean)
+	}
+	for i := range plain.Rows {
+		if cached.Rows[i] != plain.Rows[i] {
+			t.Errorf("row %d diverged: %+v vs %+v", i, cached.Rows[i], plain.Rows[i])
+		}
+	}
+}
+
+// A failing workload must not poison its siblings, and its error must
+// carry the workload name exactly once even with several policy tasks.
+func TestSchedulerPartialFailure(t *testing.T) {
+	good := workload.SuiteN(2)
+	opts := Options{
+		Workloads: []workload.Spec{good[0], badSpec("bad-mid"), good[1]},
+		Scale:     0.02,
+	}
+	_, err := Run(opts)
+	if err == nil {
+		t.Fatal("failing workload reported no error")
+	}
+}
+
+// runPerWorkload reimplements the old scheduler — one goroutine per
+// workload, its policies strictly serial — as the benchmark baseline the
+// flattened scheduler must not lose to. It carries the same per-replay
+// overheads (progress callbacks, obs events into a collector) so the two
+// benchmarks differ only in scheduling.
+func runPerWorkload(b *testing.B, opts Options) {
+	b.Helper()
+	ctx := context.Background()
+	opts, err := opts.prepare()
+	if err != nil {
+		b.Fatal(err)
+	}
+	observe := obs.NewCollector().Observe
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallelism)
+	for wi := range opts.Workloads {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := opts.Workloads[wi]
+			start := time.Now()
+			observe(obs.Event{Kind: obs.WorkloadStart, Workload: spec.Name, WorkloadIndex: wi})
+			prog, err := spec.Generate()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			target := targetFor(spec, opts.Scale)
+			counting := frontend.StreamOptions{
+				ProgressEvery: opts.ProgressEvery,
+				Progress:      func(records, instructions uint64) error { return ctx.Err() },
+			}
+			total, _, err := frontend.CountProgram(opts.Config, prog, opts.ExecSeed, target, counting)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			warm := opts.Config.WarmupFor(total)
+			for pi, kind := range opts.Policies {
+				pstart := time.Now()
+				so := frontend.StreamOptions{
+					ProgressEvery: opts.ProgressEvery,
+					Progress: func(records, instructions uint64) error {
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+						observe(obs.Event{Kind: obs.Tick, Workload: spec.Name, WorkloadIndex: wi,
+							Policy: kind.String(), PolicyIndex: pi,
+							Records: records, Instructions: instructions, Elapsed: time.Since(pstart)})
+						return nil
+					},
+				}
+				res, err := frontend.SimulateProgramStream(opts.Config, kind, prog, opts.ExecSeed, target, warm, so)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				observe(obs.Event{Kind: obs.PolicyDone, Workload: spec.Name, WorkloadIndex: wi,
+					Policy: kind.String(), PolicyIndex: pi,
+					Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(pstart)})
+			}
+			observe(obs.Event{Kind: obs.WorkloadDone, Workload: spec.Name, WorkloadIndex: wi, Elapsed: time.Since(start)})
+		}(wi)
+	}
+	wg.Wait()
+}
+
+// benchOptions is a deliberately skewed suite — few workloads, one of
+// them much longer — where per-workload scheduling serializes the long
+// workload's five replays behind one core while the flattened scheduler
+// spreads them across workers.
+func benchOptions() Options {
+	specs := workload.SuiteN(6)
+	specs[0].DefaultInstructions *= 8
+	return Options{Workloads: specs, Scale: 0.1}
+}
+
+func BenchmarkSchedulerFlattened(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerPerWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runPerWorkload(b, benchOptions())
+	}
+}

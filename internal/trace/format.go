@@ -210,7 +210,14 @@ func (r *Reader) ReadRecord() (Record, error) {
 
 // ReadAll decodes every remaining record.
 func (r *Reader) ReadAll() ([]Record, error) {
-	out := make([]Record, 0, r.hdr.Records-r.read)
+	// The header's record count is untrusted input: cap the preallocation
+	// so a malformed header declaring 2^60 records cannot OOM before the
+	// decode loop rejects it.
+	alloc := r.hdr.Records - r.read
+	if alloc > 1<<16 {
+		alloc = 1 << 16
+	}
+	out := make([]Record, 0, alloc)
 	for {
 		rec, err := r.ReadRecord()
 		if err == io.EOF {
