@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race-smoke fuzz-smoke golden-update ci
+.PHONY: build vet test race-smoke fault-smoke fuzz-smoke golden-update ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ race-smoke:
 	$(GO) test -race -run 'TestRun|TestStream|TestExecSeed|TestMulti|TestCollector|TestProgress|TestScheduler|TestSweepReuses|TestHeadroomShares|TestCache' \
 		./internal/sim/... ./internal/obs/... ./internal/frontend/... ./internal/resultcache/...
 
+# fault-smoke drives the suite runner's failure paths — injected
+# panics, stalls, transient errors, cache corruption and keep-going
+# partial results — under the race detector, plus the fault-injection
+# harness's own tests.
+fault-smoke:
+	$(GO) test -race -run 'TestFault' ./internal/sim/
+	$(GO) test -race ./internal/faultinject/
+
 # fuzz-smoke runs each trace-format fuzz target briefly (native Go
 # fuzzing); the checked-in corpus under internal/trace/testdata/fuzz also
 # replays as ordinary test cases in `make test`.
@@ -32,4 +40,4 @@ fuzz-smoke:
 golden-update:
 	$(GO) test -run TestGolden -update ./internal/sim/
 
-ci: build vet test race-smoke
+ci: build vet test race-smoke fault-smoke

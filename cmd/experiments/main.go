@@ -7,6 +7,7 @@
 //
 //	experiments [-run all|table1|fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|headline|ablations]
 //	            [-n workloads] [-scale f] [-parallel n] [-progress] [-cache-dir DIR]
+//	            [-timeout d] [-task-timeout d] [-stall-timeout d] [-retries n] [-keep-going]
 //
 // Interrupting a run (SIGINT/SIGTERM) cancels in-flight simulations
 // promptly; -progress streams live throughput to stderr and prints a
@@ -15,6 +16,13 @@
 // cell is stored after simulation and reloaded on later runs, so the
 // fig7 sweep and the ablations skip the baseline cells the main run
 // already computed, and a repeated invocation replays nothing.
+//
+// Failure semantics: -timeout bounds the whole invocation (a run cut
+// short exits nonzero after printing what completed); -task-timeout and
+// -stall-timeout bound one (workload, policy) cell's wall time and
+// progress gaps; transient failures are retried up to -retries times;
+// -keep-going finishes the suite past failing cells, reporting them on
+// stderr and computing every figure over the surviving workloads.
 package main
 
 import (
@@ -43,6 +51,11 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "stream live progress and a throughput summary to stderr")
 		cacheDir = flag.String("cache-dir", "", "on-disk result cache directory (empty = no caching)")
+		timeout  = flag.Duration("timeout", 0, "overall run deadline (0 = none); an expired run exits nonzero with partial results")
+		taskTO   = flag.Duration("task-timeout", 0, "per-(workload, policy) task deadline (0 = none)")
+		stallTO  = flag.Duration("stall-timeout", 0, "fail a task making no progress for this long (0 = none)")
+		retries  = flag.Int("retries", sim.DefaultMaxRetries, "retries per task for transient failures (0 = none)")
+		keepOn   = flag.Bool("keep-going", false, "complete the suite past failing cells; figures cover the surviving workloads")
 	)
 	flag.Parse()
 	// "all" covers the paper artifacts; headroom and extended are
@@ -50,11 +63,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
+	maxRetries := *retries
+	if maxRetries <= 0 {
+		maxRetries = -1 // Options.MaxRetries 0 means "default"; negative disables
+	}
 	opts := sim.Options{
-		Workloads:   workload.SuiteN(*n),
-		Scale:       *scale,
-		Parallelism: *parallel,
+		Workloads:    workload.SuiteN(*n),
+		Scale:        *scale,
+		Parallelism:  *parallel,
+		TaskTimeout:  *taskTO,
+		StallTimeout: *stallTO,
+		MaxRetries:   maxRetries,
+		KeepGoing:    *keepOn,
 	}
 	if *cacheDir != "" {
 		cache, err := resultcache.Open(*cacheDir)
@@ -65,6 +91,7 @@ func main() {
 		opts.Observer = obs.NewProgress(os.Stderr, 500*time.Millisecond)
 	}
 	want := func(id string) bool { return *run == "all" || *run == id }
+	hadFailures := false
 	start := time.Now()
 	fmt.Printf("# GHRP reproduction experiments (%d workloads, scale %.2f)\n\n", len(opts.Workloads), *scale)
 
@@ -84,10 +111,27 @@ func main() {
 	if needMain {
 		var err error
 		m, err = sim.RunContext(ctx, opts)
+		if err != nil && m != nil {
+			// Keep-going run cut short by cancellation or -timeout: show
+			// what completed, then exit nonzero.
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			fmt.Fprint(os.Stderr, m.Stats.Render())
+			fmt.Fprintln(os.Stderr, "experiments: run incomplete; partial results above")
+			os.Exit(1)
+		}
 		fail(err)
 		if *progress {
 			fmt.Fprint(os.Stderr, m.Stats.Render())
 		}
+		if failed := m.Stats.Failed(); len(failed) > 0 {
+			for _, w := range failed {
+				fmt.Fprintf(os.Stderr, "experiments: workload %s failed: %v\n", w.Name, w.Err)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: continuing with %d of %d workloads\n",
+				len(m.Specs)-len(failed), len(m.Specs))
+			hadFailures = true
+		}
+		m = m.Completed()
 	}
 
 	if want("headline") {
@@ -163,6 +207,9 @@ func main() {
 		fmt.Println("## Headroom vs Belady's OPT (extension beyond the paper)")
 		rep, err := sim.ComputeHeadroom(ctx, opts)
 		fail(err)
+		if rep.Failed > 0 {
+			hadFailures = true
+		}
 		fmt.Println(rep.Render())
 	}
 
@@ -172,6 +219,7 @@ func main() {
 		ext.Policies = frontend.ExtendedPolicies()
 		me, err := sim.RunContext(ctx, ext)
 		fail(err)
+		me = me.Completed()
 		fmt.Println(sim.ComputeHeadline(me, sim.ICache).Render())
 		fmt.Println(sim.ComputeHeadline(me, sim.BTB).Render())
 	}
@@ -197,6 +245,10 @@ func main() {
 	}
 
 	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+	if hadFailures {
+		fmt.Fprintln(os.Stderr, "experiments: some workloads failed; results cover the survivors")
+		os.Exit(1)
+	}
 }
 
 func renderImprovements(m *sim.Measurements, st sim.Structure) string {

@@ -10,7 +10,11 @@
 //
 //	ghrpsim [-workload NAME | -trace FILE] [-policy ghrp] [-instrs N]
 //	        [-icache-kb 64] [-ways 8] [-block 64] [-btb-entries 4096] [-btb-ways 4]
-//	        [-heatmap] [-progress] [-cache-dir DIR]
+//	        [-heatmap] [-progress] [-cache-dir DIR] [-timeout d] [-task-timeout d]
+//
+// -timeout bounds the whole invocation and -task-timeout the replay
+// itself (counting pre-pass included); an expired deadline exits
+// nonzero with an explanatory error instead of hanging.
 //
 // -cache-dir attaches the on-disk result cache shared with
 // cmd/experiments: a repeated invocation of the same (workload, policy,
@@ -21,6 +25,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,11 +58,18 @@ func main() {
 		analyze    = flag.Bool("analyze", false, "print reuse-distance and working-set profiles")
 		progress   = flag.Bool("progress", false, "stream live replay progress to stderr")
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (empty = no caching)")
+		timeout    = flag.Duration("timeout", 0, "overall run deadline (0 = none)")
+		taskTO     = flag.Duration("task-timeout", 0, "replay deadline, counting pre-pass included (0 = none)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeout, errors.New("-timeout exceeded"))
+		defer cancel()
+	}
 
 	kind, err := frontend.ParsePolicy(*policy)
 	fail(err)
@@ -122,20 +134,28 @@ func main() {
 		}
 		prog, err := spec.Generate()
 		fail(err)
+		// The replay deadline covers the counting pre-pass and the
+		// stream; both poll the context through their progress hooks.
+		tctx := ctx
+		if *taskTO > 0 {
+			var cancel context.CancelFunc
+			tctx, cancel = context.WithTimeoutCause(ctx, *taskTO, errors.New("-task-timeout exceeded"))
+			defer cancel()
+		}
 		start := time.Now()
 		if observe != nil {
 			observe(obs.Event{Kind: obs.RunStart, Workloads: 1, Policies: 1})
 			observe(obs.Event{Kind: obs.WorkloadStart, Workload: name, Workloads: 1, Policies: 1})
 		}
 		total, _, err := frontend.CountProgram(cfg, prog, 1, target, frontend.StreamOptions{
-			Progress: func(records, instructions uint64) error { return ctx.Err() },
+			Progress: func(records, instructions uint64) error { return tctx.Err() },
 		})
-		fail(err)
+		fail(causeOf(tctx, err))
 		e, err = frontend.NewEngine(cfg, kind, cfg.WarmupFor(total))
 		fail(err)
 		res, err = e.StreamProgram(prog, 1, target, frontend.StreamOptions{
 			Progress: func(records, instructions uint64) error {
-				if err := ctx.Err(); err != nil {
+				if err := tctx.Err(); err != nil {
 					return err
 				}
 				if observe != nil {
@@ -145,7 +165,7 @@ func main() {
 				return nil
 			},
 		})
-		fail(err)
+		fail(causeOf(tctx, err))
 		if observe != nil {
 			observe(obs.Event{Kind: obs.PolicyDone, Workload: name, Policy: kind.String(),
 				Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start),
@@ -209,6 +229,21 @@ func runRecords(cfg frontend.Config, kind frontend.PolicyKind, recs []trace.Reco
 	e, err := frontend.NewEngine(cfg, kind, cfg.WarmupFor(total))
 	fail(err)
 	return e, e.Run(recs)
+}
+
+// causeOf maps a context-abort error to that context's cause, so an
+// expired -timeout or -task-timeout prints its explanatory error
+// instead of a bare "context deadline exceeded".
+func causeOf(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+	}
+	return err
 }
 
 func fail(err error) {

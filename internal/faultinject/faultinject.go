@@ -1,0 +1,220 @@
+// Package faultinject provides deterministic, seed-driven fault
+// injection for the suite runner's robustness guarantees. Production
+// code exposes a small number of named injection sites (an Op per
+// site); a test builds an Injector with rules that fire on exact
+// occurrences of a site — the Nth scheduler task, the first cache
+// write — and the runner's containment machinery (panic recovery, task
+// deadlines, stall watchdogs, retry, quarantine) is proven against the
+// injected fault rather than hoped about.
+//
+// Everything is deterministic: occurrence counting is exact, and the
+// only randomness is NthFromSeed, a pure function of its seed, so a
+// failing injection test reproduces from its seed alone.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Op names one injection site in production code.
+type Op string
+
+const (
+	// OpTask fires at the start of one (workload, policy) scheduler
+	// task, before the cache lookup or any simulation.
+	OpTask Op = "task"
+	// OpProgress fires inside a replay's progress callback, once per
+	// progress interval.
+	OpProgress Op = "progress"
+	// OpCacheGet fires before a result-cache read.
+	OpCacheGet Op = "cache-get"
+	// OpCachePut fires before a result-cache write.
+	OpCachePut Op = "cache-put"
+	// OpCacheCorrupt fires after a successful result-cache write; a
+	// firing rule asks the hook to corrupt the just-written entry.
+	OpCacheCorrupt Op = "cache-corrupt"
+)
+
+// Action is what a firing rule does to the caller.
+type Action uint8
+
+const (
+	// None leaves the call untouched.
+	None Action = iota
+	// Panic panics with a recognizable message, exercising the
+	// scheduler's recover-and-contain path.
+	Panic
+	// Stall blocks until the call's context is cancelled, exercising
+	// deadlines and the progress-stall watchdog. Firing Stall with a
+	// context that is never cancelled blocks forever — that is the
+	// point.
+	Stall
+	// Transient returns a *TransientError, which the scheduler's retry
+	// classification treats as retryable.
+	Transient
+	// Corrupt asks the call site to damage its artifact (e.g. the cache
+	// entry just written); Fire itself returns nil for Corrupt rules —
+	// use Hit at sites that enact the fault themselves.
+	Corrupt
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Transient:
+		return "transient"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Rule arms one fault: on occurrences [Nth, Nth+Count) of Op, perform
+// Action. Occurrences are counted per Op across the Injector's
+// lifetime, starting at 1.
+type Rule struct {
+	Op Op
+	// Nth is the first occurrence that fires (1-based); 0 means 1.
+	Nth uint64
+	// Count is how many consecutive occurrences fire; 0 means 1.
+	Count  uint64
+	Action Action
+}
+
+// TransientError is the error a Transient rule returns. It satisfies
+// the scheduler's retry classification through its Transient method.
+type TransientError struct {
+	Op Op
+	N  uint64 // the occurrence that fired
+}
+
+// Error describes the injected fault.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: injected transient error (%s #%d)", e.Op, e.N)
+}
+
+// Transient marks the error as retryable.
+func (e *TransientError) Transient() bool { return true }
+
+// Injector counts occurrences of each Op and fires the armed rules
+// deterministically. It is safe for concurrent use; note that with
+// concurrent callers the Nth occurrence of an Op is whichever call wins
+// the count, so tests wanting an exact cell pin Parallelism to 1.
+type Injector struct {
+	mu     sync.Mutex
+	rules  []Rule
+	counts map[Op]uint64
+	fired  map[Op]uint64
+}
+
+// New returns an Injector armed with rules. Zero-valued Nth and Count
+// are normalized to 1.
+func New(rules ...Rule) *Injector {
+	in := &Injector{counts: map[Op]uint64{}, fired: map[Op]uint64{}}
+	for _, r := range rules {
+		if r.Nth == 0 {
+			r.Nth = 1
+		}
+		if r.Count == 0 {
+			r.Count = 1
+		}
+		in.rules = append(in.rules, r)
+	}
+	return in
+}
+
+// hit counts one occurrence of op and returns the firing rule's action
+// (None when no rule fires) plus the occurrence number.
+func (in *Injector) hit(op Op) (Action, uint64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	n := in.counts[op]
+	for _, r := range in.rules {
+		if r.Op == op && n >= r.Nth && n < r.Nth+r.Count {
+			in.fired[op]++
+			return r.Action, n
+		}
+	}
+	return None, n
+}
+
+// Fire counts one occurrence of op and enacts the firing rule, if any:
+// Panic panics, Stall blocks until ctx is done and returns its cause,
+// Transient returns a *TransientError. Corrupt rules return nil from
+// Fire — sites that must enact the fault themselves use Hit.
+func (in *Injector) Fire(ctx context.Context, op Op) error {
+	act, n := in.hit(op)
+	switch act {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: injected panic (%s #%d)", op, n))
+	case Stall:
+		<-ctx.Done()
+		return context.Cause(ctx)
+	case Transient:
+		return &TransientError{Op: op, N: n}
+	}
+	return nil
+}
+
+// Hit counts one occurrence of op and reports whether a rule fires,
+// leaving the action to the caller (used for Corrupt sites).
+func (in *Injector) Hit(op Op) bool {
+	act, _ := in.hit(op)
+	return act != None
+}
+
+// Calls returns how many occurrences of op have been counted.
+func (in *Injector) Calls(op Op) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// Fired returns how many occurrences of op fired a rule.
+func (in *Injector) Fired(op Op) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[op]
+}
+
+// NthFromSeed derives a deterministic pseudo-random occurrence in
+// [1, max] from a seed and an op — the "seed-driven" way to pick which
+// cell of a sweep faults without hand-picking it. A failing test
+// reproduces from the seed alone.
+func NthFromSeed(seed uint64, op Op, max uint64) uint64 {
+	if max == 0 {
+		return 1
+	}
+	x := seed
+	for _, b := range []byte(op) {
+		x = splitmix64(x ^ uint64(b))
+	}
+	return splitmix64(x)%max + 1
+}
+
+// splitmix64 is the SplitMix64 mixer — a tiny, well-distributed pure
+// function, enough for picking fault positions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CorruptFile overwrites the file at path with garbage that is not a
+// valid cache entry, simulating on-disk corruption. Errors are returned
+// for the caller (a test hook) to surface.
+func CorruptFile(path string) error {
+	return os.WriteFile(path, []byte("\x00faultinject: corrupted entry\x00"), 0o644)
+}

@@ -1,0 +1,192 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFireNthOccurrence(t *testing.T) {
+	in := New(Rule{Op: OpTask, Nth: 3, Action: Transient})
+	ctx := context.Background()
+	for n := 1; n <= 5; n++ {
+		err := in.Fire(ctx, OpTask)
+		if n == 3 {
+			var te *TransientError
+			if !errors.As(err, &te) {
+				t.Fatalf("occurrence 3: err = %v, want TransientError", err)
+			}
+			if te.Op != OpTask || te.N != 3 || !te.Transient() {
+				t.Errorf("transient error fields: %+v", te)
+			}
+		} else if err != nil {
+			t.Errorf("occurrence %d fired: %v", n, err)
+		}
+	}
+	if in.Calls(OpTask) != 5 || in.Fired(OpTask) != 1 {
+		t.Errorf("calls %d fired %d, want 5/1", in.Calls(OpTask), in.Fired(OpTask))
+	}
+}
+
+func TestFireCountWindow(t *testing.T) {
+	in := New(Rule{Op: OpCachePut, Nth: 2, Count: 2, Action: Transient})
+	ctx := context.Background()
+	var fired []uint64
+	for n := uint64(1); n <= 5; n++ {
+		if err := in.Fire(ctx, OpCachePut); err != nil {
+			fired = append(fired, n)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 3 {
+		t.Errorf("fired occurrences %v, want [2 3]", fired)
+	}
+}
+
+func TestFireZeroValuesNormalize(t *testing.T) {
+	in := New(Rule{Op: OpTask, Action: Transient}) // Nth, Count default to 1
+	if err := in.Fire(context.Background(), OpTask); err == nil {
+		t.Error("first occurrence did not fire with zero Nth")
+	}
+	if err := in.Fire(context.Background(), OpTask); err != nil {
+		t.Errorf("second occurrence fired: %v", err)
+	}
+}
+
+func TestFirePanics(t *testing.T) {
+	in := New(Rule{Op: OpTask, Action: Panic})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(p.(string), "injected panic") {
+			t.Errorf("panic value %v", p)
+		}
+	}()
+	in.Fire(context.Background(), OpTask)
+}
+
+func TestFireStallBlocksUntilCancel(t *testing.T) {
+	in := New(Rule{Op: OpProgress, Action: Stall})
+	cause := errors.New("watchdog fired")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.Fire(ctx, OpProgress) }()
+	select {
+	case err := <-done:
+		t.Fatalf("stall returned before cancel: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel(cause)
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Errorf("stall returned %v, want cause %v", err, cause)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stall did not return after cancel")
+	}
+}
+
+func TestHitCorrupt(t *testing.T) {
+	in := New(Rule{Op: OpCacheCorrupt, Nth: 2, Action: Corrupt})
+	if in.Hit(OpCacheCorrupt) {
+		t.Error("occurrence 1 fired")
+	}
+	if !in.Hit(OpCacheCorrupt) {
+		t.Error("occurrence 2 did not fire")
+	}
+	if in.Hit(OpCacheCorrupt) {
+		t.Error("occurrence 3 fired")
+	}
+	// A Corrupt rule never surfaces through Fire.
+	in2 := New(Rule{Op: OpCacheCorrupt, Action: Corrupt})
+	if err := in2.Fire(context.Background(), OpCacheCorrupt); err != nil {
+		t.Errorf("Fire returned %v for a Corrupt rule", err)
+	}
+}
+
+func TestNthFromSeedDeterministic(t *testing.T) {
+	a := NthFromSeed(42, OpTask, 600)
+	b := NthFromSeed(42, OpTask, 600)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a < 1 || a > 600 {
+		t.Fatalf("out of range: %d", a)
+	}
+	if NthFromSeed(42, OpCachePut, 600) == a && NthFromSeed(43, OpTask, 600) == a {
+		t.Error("seed and op do not influence the pick")
+	}
+	if NthFromSeed(7, OpTask, 0) != 1 {
+		t.Error("max 0 must clamp to 1")
+	}
+	// Spread check: many seeds should not all collapse to one value.
+	seen := map[uint64]bool{}
+	for s := uint64(0); s < 64; s++ {
+		seen[NthFromSeed(s, OpTask, 16)] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("poor spread: %d distinct picks over 64 seeds", len(seen))
+	}
+}
+
+func TestInjectorConcurrent(t *testing.T) {
+	in := New(Rule{Op: OpTask, Nth: 50, Action: Transient})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := in.Fire(context.Background(), OpTask); err != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Calls(OpTask) != 200 {
+		t.Errorf("calls %d, want 200", in.Calls(OpTask))
+	}
+	if fired != 1 || in.Fired(OpTask) != 1 {
+		t.Errorf("fired %d (injector says %d), want exactly 1", fired, in.Fired(OpTask))
+	}
+}
+
+func TestCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "entry.json")
+	if err := os.WriteFile(path, []byte(`{"Version":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "corrupted") {
+		t.Errorf("file not corrupted: %q", blob)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{None: "none", Panic: "panic", Stall: "stall", Transient: "transient", Corrupt: "corrupt"} {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", a, got, want)
+		}
+	}
+	if got := Action(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown action -> %q", got)
+	}
+}

@@ -37,6 +37,10 @@ const (
 	// simulated; Records and Instructions carry the cached result's
 	// counters.
 	PolicyCached
+	// TaskRetry is emitted when a (workload, policy) task failed with a
+	// transient error and is about to be retried; Attempt carries the
+	// retry number (1 for the first retry) and Err the transient error.
+	TaskRetry
 )
 
 // String names the event kind.
@@ -58,6 +62,8 @@ func (k EventKind) String() string {
 		return "run-done"
 	case PolicyCached:
 		return "policy-cached"
+	case TaskRetry:
+		return "task-retry"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -83,10 +89,13 @@ type Event struct {
 	// the workload (WorkloadDone, WorkloadFailed) or the run (RunDone)
 	// started.
 	Elapsed time.Duration
-	Err     error // WorkloadFailed only
+	Err     error // WorkloadFailed and TaskRetry
 	// CacheMiss marks a PolicyDone whose replay was simulated after a
 	// result-cache lookup missed (false when no cache is attached).
 	CacheMiss bool
+	// Attempt is the retry number of a TaskRetry event (1 = first
+	// retry of the task).
+	Attempt int
 }
 
 // Observer consumes progress events. Observers attached to a parallel
@@ -155,6 +164,12 @@ type RunStats struct {
 	// missed. Both stay zero when no cache is attached to the run.
 	CacheHits   int
 	CacheMisses int
+	// Retries counts task attempts repeated after transient failures.
+	Retries int
+	// CacheQuarantines counts corrupt result-cache entries moved aside
+	// during the run (filled in by the runner from the cache's counter,
+	// not from the event stream).
+	CacheQuarantines int
 }
 
 // TotalRecords sums the records replayed across all workloads and
@@ -217,6 +232,12 @@ func (r *RunStats) Render() string {
 	if r.CacheHits > 0 || r.CacheMisses > 0 {
 		fmt.Fprintf(&b, ", cache %d/%d hits", r.CacheHits, r.CacheHits+r.CacheMisses)
 	}
+	if r.CacheQuarantines > 0 {
+		fmt.Fprintf(&b, ", %d quarantined", r.CacheQuarantines)
+	}
+	if r.Retries > 0 {
+		fmt.Fprintf(&b, ", %d retries", r.Retries)
+	}
 	if failed := r.Failed(); len(failed) > 0 {
 		fmt.Fprintf(&b, ", %d failed", len(failed))
 	}
@@ -236,6 +257,7 @@ type Collector struct {
 	workloads   map[int]*WorkloadStats
 	cacheHits   int
 	cacheMisses int
+	retries     int
 }
 
 // NewCollector returns an empty collector.
@@ -273,6 +295,8 @@ func (c *Collector) Observe(e Event) {
 		w := c.workload(e)
 		w.Wall = e.Elapsed
 		w.Err = e.Err
+	case TaskRetry:
+		c.retries++
 	case RunDone:
 		c.wall = e.Elapsed
 	}
@@ -299,6 +323,7 @@ func (c *Collector) Stats() *RunStats {
 		Workloads:   make([]WorkloadStats, 0, len(c.workloads)),
 		CacheHits:   c.cacheHits,
 		CacheMisses: c.cacheMisses,
+		Retries:     c.retries,
 	}
 	for _, w := range c.workloads {
 		out.Workloads = append(out.Workloads, *w)
@@ -336,6 +361,7 @@ type progress struct {
 	done      int
 	failed    int
 	cached    int    // policy cells served from the result cache
+	retries   int    // task attempts repeated after transient failures
 	records   uint64 // records of completed policy replays
 	inFlight  map[[2]int]uint64
 }
@@ -365,6 +391,8 @@ func (p *progress) observe(e Event) {
 	case WorkloadFailed:
 		p.done++
 		p.failed++
+	case TaskRetry:
+		p.retries++
 	}
 	final := e.Kind == RunDone
 	if !final && t.Sub(p.lastPrint) < p.interval {
@@ -384,6 +412,9 @@ func (p *progress) observe(e Event) {
 		p.done, p.total, siCount(float64(records)), siCount(rate), elapsed.Round(time.Second))
 	if p.cached > 0 {
 		fmt.Fprintf(p.w, ", %d cached", p.cached)
+	}
+	if p.retries > 0 {
+		fmt.Fprintf(p.w, ", %d retries", p.retries)
 	}
 	if p.failed > 0 {
 		fmt.Fprintf(p.w, ", %d failed", p.failed)

@@ -3,6 +3,7 @@ package obs
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -34,6 +35,7 @@ func TestEventKindString(t *testing.T) {
 		WorkloadFailed: "workload-failed",
 		RunDone:        "run-done",
 		PolicyCached:   "policy-cached",
+		TaskRetry:      "task-retry",
 	}
 	for k, want := range kinds {
 		if got := k.String(); got != want {
@@ -150,6 +152,82 @@ func TestCollectorCacheCounters(t *testing.T) {
 	out := s.Render()
 	if !strings.Contains(out, "cache 3/4 hits") {
 		t.Errorf("render missing cache summary:\n%s", out)
+	}
+}
+
+// Retries flow from TaskRetry events into RunStats and the render, and
+// stay silent on retry-free runs.
+func TestCollectorRetryCounter(t *testing.T) {
+	c := NewCollector()
+	c.Observe(Event{Kind: PolicyDone, Workload: "w0", Policy: "LRU", Records: 10, Elapsed: time.Second})
+	c.Observe(Event{Kind: WorkloadDone, Workload: "w0", Elapsed: time.Second})
+	c.Observe(Event{Kind: RunDone, Workloads: 1, Elapsed: time.Second})
+	if s := c.Stats(); s.Retries != 0 || strings.Contains(s.Render(), "retries") {
+		t.Errorf("retry-free run surfaced retries: %+v\n%s", s.Retries, s.Render())
+	}
+	c.Observe(Event{Kind: TaskRetry, Workload: "w0", Policy: "LRU", Attempt: 1, Err: errors.New("transient")})
+	c.Observe(Event{Kind: TaskRetry, Workload: "w0", Policy: "LRU", Attempt: 2, Err: errors.New("transient")})
+	s := c.Stats()
+	if s.Retries != 2 {
+		t.Errorf("retries %d, want 2", s.Retries)
+	}
+	if out := s.Render(); !strings.Contains(out, "2 retries") {
+		t.Errorf("render missing retry count:\n%s", out)
+	}
+	s.CacheQuarantines = 1
+	if out := s.Render(); !strings.Contains(out, "1 quarantined") {
+		t.Errorf("render missing quarantine count:\n%s", out)
+	}
+}
+
+// The collector must aggregate coherently when events arrive from many
+// goroutines at once, as they do on a parallel run (exercised under
+// -race by the race-smoke target).
+func TestCollectorConcurrentEmitters(t *testing.T) {
+	const (
+		emitters = 8
+		rounds   = 50
+	)
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				wi := g*rounds + i
+				c.Observe(Event{Kind: WorkloadStart, Workload: "w", WorkloadIndex: wi})
+				c.Observe(Event{Kind: PolicyDone, Workload: "w", WorkloadIndex: wi,
+					Policy: "LRU", Records: 10, Instructions: 100, Elapsed: time.Millisecond})
+				c.Observe(Event{Kind: PolicyCached, Workload: "w", WorkloadIndex: wi, Policy: "GHRP"})
+				c.Observe(Event{Kind: TaskRetry, Workload: "w", WorkloadIndex: wi, Attempt: 1})
+				c.Observe(Event{Kind: WorkloadDone, Workload: "w", WorkloadIndex: wi, Elapsed: time.Millisecond})
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Observe(Event{Kind: RunDone, Workloads: emitters * rounds, Elapsed: time.Second})
+	s := c.Stats()
+	cells := emitters * rounds
+	if len(s.Workloads) != cells {
+		t.Errorf("%d workload slots, want %d", len(s.Workloads), cells)
+	}
+	if s.CacheHits != cells || s.CacheMisses != 0 {
+		t.Errorf("cache counters %d/%d, want %d/0", s.CacheHits, s.CacheMisses, cells)
+	}
+	if s.Retries != cells {
+		t.Errorf("retries %d, want %d", s.Retries, cells)
+	}
+	if got := s.TotalRecords(); got != uint64(cells)*10 {
+		t.Errorf("total records %d, want %d", got, cells*10)
+	}
+	for i, w := range s.Workloads {
+		if w.Index != i {
+			t.Fatalf("workload %d has index %d (not sorted)", i, w.Index)
+		}
+		if len(w.Policies) != 1 || w.Records != 10 {
+			t.Errorf("workload %d stats: %+v", i, w)
+		}
 	}
 }
 

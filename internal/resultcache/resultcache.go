@@ -15,8 +15,14 @@
 // first two hex digits (a shard level that keeps directories small on
 // 662-workload grids). Writes go through a temp file and rename, so
 // concurrent readers never observe a partial entry. Unreadable or
-// mismatched entries are treated as misses and overwritten, never
-// surfaced as errors; only Put reports I/O failures.
+// mismatched entries are treated as misses, never surfaced as errors;
+// only Put reports I/O failures.
+//
+// Failure semantics: an entry that exists but does not decode (torn
+// write survivor, disk corruption, tampering) or decodes to a foreign
+// key is quarantined — renamed to <hash>.json.corrupt — so it cannot
+// fail every future run, and the quarantine is counted (Quarantined).
+// A stale-version entry is a plain miss that the next Put overwrites.
 //
 // FormatVersion is part of every key: bump it whenever the simulator's
 // observable results change (a new Result field, a semantic fix), which
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/workload"
@@ -83,11 +90,28 @@ type entry struct {
 	Result  frontend.Result
 }
 
+// TestHooks intercept cache I/O for fault-injection tests; the zero
+// value disables every hook. Hooks must be installed (SetTestHooks)
+// before the cache is shared across goroutines.
+type TestHooks struct {
+	// BeforeGet runs before an entry is read; a non-nil error forces a
+	// miss (a transient read failure degrades to re-simulation).
+	BeforeGet func(path string) error
+	// BeforePut runs before the entry is written; a non-nil error
+	// aborts Put with that error and must leave no temp file behind.
+	BeforePut func(path string) error
+	// AfterPut runs after the entry is renamed into place and may
+	// damage it, simulating on-disk corruption.
+	AfterPut func(path string)
+}
+
 // Cache is an on-disk result cache rooted at one directory. It is safe
 // for concurrent use by multiple goroutines and multiple processes:
 // entries are immutable once written and writes are atomic renames.
 type Cache struct {
-	dir string
+	dir         string
+	quarantined atomic.Int64
+	hooks       TestHooks
 }
 
 // Open creates (if needed) and returns the cache rooted at dir.
@@ -104,6 +128,15 @@ func Open(dir string) (*Cache, error) {
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
+// Quarantined returns how many corrupt entries this Cache has moved
+// aside since it was opened. The counter is monotonic; callers tracking
+// one run take a before/after delta.
+func (c *Cache) Quarantined() int64 { return c.quarantined.Load() }
+
+// SetTestHooks installs fault-injection hooks. Test-only; must be
+// called before the cache is used concurrently.
+func (c *Cache) SetTestHooks(h TestHooks) { c.hooks = h }
+
 // path shards entries by the key's first two hex digits.
 func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, string(key[:2]), string(key)+".json")
@@ -111,30 +144,60 @@ func (c *Cache) path(key Key) string {
 
 // Get returns the cached result for key. A missing, unreadable, stale
 // or mismatched entry is a miss, never an error: the caller re-simulates
-// and Put overwrites the bad entry.
+// and Put overwrites the bad entry. An entry that exists but does not
+// decode — or decodes to a foreign key — is quarantined (renamed to
+// <hash>.json.corrupt) so one corrupt file cannot fail every future
+// run; a stale-version entry is left for Put to overwrite.
 func (c *Cache) Get(key Key) (frontend.Result, bool) {
 	if len(key) < 2 {
 		return frontend.Result{}, false
 	}
-	blob, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	if h := c.hooks.BeforeGet; h != nil {
+		if err := h(path); err != nil {
+			return frontend.Result{}, false
+		}
+	}
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		return frontend.Result{}, false
 	}
 	var e entry
-	if err := json.Unmarshal(blob, &e); err != nil || e.Version != FormatVersion || e.Key != key {
+	if err := json.Unmarshal(blob, &e); err != nil || (e.Version == FormatVersion && e.Key != key) {
+		c.quarantine(path)
+		return frontend.Result{}, false
+	}
+	if e.Version != FormatVersion {
 		return frontend.Result{}, false
 	}
 	return e.Result, true
 }
 
+// quarantine moves a corrupt entry to <path>.corrupt (overwriting any
+// previous quarantine of the same entry) and counts it. Quarantined
+// files carry no .json extension, so Len skips them; a failed rename
+// leaves the entry in place for the next Put to overwrite.
+func (c *Cache) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		c.quarantined.Add(1)
+	}
+}
+
 // Put stores one result under key, atomically: the entry is written to
 // a temp file in the destination directory and renamed into place, so a
-// concurrent Get sees either nothing or the complete entry.
+// concurrent Get sees either nothing or the complete entry. Every error
+// path — including a panic unwinding through Put — removes the temp
+// file, so a failed write never strands droppings in the cache.
 func (c *Cache) Put(key Key, res frontend.Result) error {
 	if len(key) < 2 {
 		return fmt.Errorf("resultcache: invalid key %q", key)
 	}
 	dst := c.path(key)
+	if h := c.hooks.BeforePut; h != nil {
+		if err := h(dst); err != nil {
+			return fmt.Errorf("resultcache: %w", err)
+		}
+	}
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("resultcache: %w", err)
 	}
@@ -146,18 +209,27 @@ func (c *Cache) Put(key Key, res frontend.Result) error {
 	if err != nil {
 		return fmt.Errorf("resultcache: %w", err)
 	}
+	// tmpName is cleared once the rename succeeds; until then the defer
+	// owns cleanup on every exit, normal or panicking.
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+	}()
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
 		return fmt.Errorf("resultcache: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("resultcache: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		os.Remove(tmp.Name())
+	if err := os.Rename(tmpName, dst); err != nil {
 		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmpName = ""
+	if h := c.hooks.AfterPut; h != nil {
+		h(dst)
 	}
 	return nil
 }

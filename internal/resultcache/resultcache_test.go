@@ -1,8 +1,10 @@
 package resultcache
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -136,6 +138,165 @@ func TestCorruptEntryIsMiss(t *testing.T) {
 	}
 	if _, ok := c.Get(key); !ok {
 		t.Error("Put did not repair the corrupt entry")
+	}
+}
+
+// A corrupt entry must be quarantined on read — moved to
+// <hash>.json.corrupt and counted — so it cannot fail every future run,
+// while a stale-version entry stays in place as a plain miss.
+func TestCacheQuarantineCorruptEntry(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := KeyFor(testSpec(), frontend.DefaultConfig(), frontend.PolicyGHRP, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, testResult(frontend.PolicyGHRP)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(key)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if c.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d, want 1", c.Quarantined())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still in place: %v", err)
+	}
+	// A second Get is now a plain miss, not another quarantine.
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit after quarantine")
+	}
+	if c.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d after plain miss, want 1", c.Quarantined())
+	}
+	// Quarantined files never count as entries, and Put repairs the slot.
+	if n, err := c.Len(); err != nil || n != 0 {
+		t.Errorf("Len = %d, %v, want 0 (quarantine must not count)", n, err)
+	}
+	if err := c.Put(key, testResult(frontend.PolicyGHRP)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Error("Put did not repair the quarantined slot")
+	}
+	// Stale versions are misses but are NOT quarantined: Put overwrites
+	// them in place.
+	if err := os.WriteFile(path, []byte(`{"Version":0,"Key":"`+string(key)+`","Result":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("stale entry served as a hit")
+	}
+	if c.Quarantined() != 1 {
+		t.Errorf("stale entry quarantined (count %d)", c.Quarantined())
+	}
+}
+
+// listTempFiles returns the leftover temp files under the cache root.
+func listTempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var tmps []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			tmps = append(tmps, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmps
+}
+
+// Put must clean up its temp file on every error path; a failed rename
+// (here: the destination name is occupied by a directory) must not
+// strand droppings in the shard directory.
+func TestCachePutCleansTempOnFailure(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := KeyFor(testSpec(), frontend.DefaultConfig(), frontend.PolicyLRU, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the destination path with a directory so the final rename
+	// fails after the temp file was written.
+	if err := os.MkdirAll(c.path(key), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, testResult(frontend.PolicyLRU)); err == nil {
+		t.Fatal("Put over a directory succeeded")
+	}
+	if tmps := listTempFiles(t, c.Dir()); len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}
+
+// The fault-injection hooks must behave as documented: BeforeGet errors
+// force misses, BeforePut errors abort the write without droppings, and
+// AfterPut corruption is caught and quarantined by the next Get.
+func TestCacheTestHooks(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := KeyFor(testSpec(), frontend.DefaultConfig(), frontend.PolicySDBP, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putErr := errors.New("injected put failure")
+	c.SetTestHooks(TestHooks{BeforePut: func(string) error { return putErr }})
+	if err := c.Put(key, testResult(frontend.PolicySDBP)); !errors.Is(err, putErr) {
+		t.Fatalf("Put error = %v, want injected failure", err)
+	}
+	if tmps := listTempFiles(t, c.Dir()); len(tmps) != 0 {
+		t.Errorf("aborted Put left temp files: %v", tmps)
+	}
+
+	corrupted := 0
+	c.SetTestHooks(TestHooks{AfterPut: func(path string) {
+		corrupted++
+		if err := os.WriteFile(path, []byte("scrambled"), 0o644); err != nil {
+			t.Error(err)
+		}
+	}})
+	if err := c.Put(key, testResult(frontend.PolicySDBP)); err != nil {
+		t.Fatal(err)
+	}
+	if corrupted != 1 {
+		t.Fatalf("AfterPut ran %d times", corrupted)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupted entry served as a hit")
+	}
+	if c.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d, want 1", c.Quarantined())
+	}
+
+	c.SetTestHooks(TestHooks{BeforeGet: func(string) error { return errors.New("injected read failure") }})
+	if err := c.Put(key, testResult(frontend.PolicySDBP)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get hit despite injected read failure")
+	}
+	c.SetTestHooks(TestHooks{})
+	if _, ok := c.Get(key); !ok {
+		t.Error("entry unreadable after hooks cleared")
 	}
 }
 

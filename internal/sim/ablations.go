@@ -34,6 +34,9 @@ func ghrpVariant(ctx context.Context, base Options, name string, mutate func(*fr
 	if err != nil {
 		return AblationRow{}, err
 	}
+	// On keep-going runs the means cover only fully-completed workloads;
+	// error-free runs pass through unchanged.
+	m = m.Completed()
 	return AblationRow{
 		Variant:    name,
 		ICacheMPKI: stats.Mean(m.ICacheMPKI[frontend.PolicyGHRP]),
@@ -178,6 +181,7 @@ func AblationPrefetch(ctx context.Context, base Options) ([]AblationRow, error) 
 		if err != nil {
 			return nil, err
 		}
+		m = m.Completed()
 		rows = append(rows, AblationRow{
 			Variant:    v.name,
 			ICacheMPKI: stats.Mean(m.ICacheMPKI[v.kind]),

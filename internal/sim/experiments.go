@@ -290,6 +290,9 @@ func RunSweep(ctx context.Context, base Options, configs []frontend.ICacheConfig
 		if err != nil {
 			return nil, err
 		}
+		// On keep-going runs the means cover only fully-completed
+		// workloads; error-free runs pass through unchanged.
+		m = m.Completed()
 		row := SweepRow{Config: ic, Mean: map[frontend.PolicyKind]float64{}}
 		for _, k := range m.Policies {
 			row.Mean[k] = stats.Mean(m.ICacheMPKI[k])
@@ -474,6 +477,7 @@ func ComputeSampling(ctx context.Context, base Options, samplerSets []int) ([]Sa
 		if err != nil {
 			return nil, err
 		}
+		m = m.Completed()
 		sets := opts.Config.ICache.Sets()
 		cov := 1.0
 		if n > 0 && n < sets {

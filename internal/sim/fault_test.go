@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ghrpsim/internal/faultinject"
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/obs"
+	"ghrpsim/internal/resultcache"
+	"ghrpsim/internal/workload"
+)
+
+// faultOptions is tinyOptions shrunk further and pinned to Parallelism
+// 1 with fast retries, so injection rules address exact cells and the
+// tests stay quick.
+func faultOptions(n int) Options {
+	return Options{
+		Workloads:    workload.SuiteN(n),
+		Policies:     []frontend.PolicyKind{frontend.PolicyLRU},
+		Scale:        0.02,
+		Parallelism:  1,
+		RetryBackoff: time.Millisecond,
+	}
+}
+
+// countEvents returns a concurrency-safe observer and a counter map
+// keyed by event kind, plus a slice capturing WorkloadFailed errors.
+func countEvents() (obs.Observer, func(obs.EventKind) int, func() []error) {
+	var mu sync.Mutex
+	counts := map[obs.EventKind]int{}
+	var failErrs []error
+	o := func(e obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		counts[e.Kind]++
+		if e.Kind == obs.WorkloadFailed {
+			failErrs = append(failErrs, e.Err)
+		}
+	}
+	count := func(k obs.EventKind) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts[k]
+	}
+	fails := func() []error {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]error(nil), failErrs...)
+	}
+	return o, count, fails
+}
+
+// An injected panic in one cell of a keep-going suite must become
+// exactly one WorkloadFailed event carrying the stack, while every
+// other cell completes bit-identically to a clean run.
+func TestFaultPanicIsolatedKeepGoing(t *testing.T) {
+	clean, err := Run(faultOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := faultOptions(5)
+	opts.KeepGoing = true
+	opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpTask, Nth: 3, Action: faultinject.Panic})
+	observer, count, fails := countEvents()
+	opts.Observer = observer
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatalf("keep-going run aborted: %v", err)
+	}
+	if m == nil {
+		t.Fatal("nil measurements")
+	}
+	if got := count(obs.WorkloadFailed); got != 1 {
+		t.Fatalf("%d WorkloadFailed events, want exactly 1", got)
+	}
+	ferr := fails()[0]
+	if !strings.Contains(ferr.Error(), "injected panic") {
+		t.Errorf("failure does not carry the panic value: %v", ferr)
+	}
+	if !strings.Contains(ferr.Error(), "goroutine") {
+		t.Errorf("failure does not carry the goroutine stack: %v", ferr)
+	}
+	var pe *PanicError
+	if !errors.As(ferr, &pe) {
+		t.Errorf("failure is not a PanicError: %T", ferr)
+	}
+
+	// Occurrence 3 of OpTask at Parallelism 1 is workload index 2.
+	for wi, r := range m.Raw {
+		wantErr := wi == 2
+		if (r.Err != nil) != wantErr {
+			t.Errorf("workload %d: Err = %v, want failed=%v", wi, r.Err, wantErr)
+		}
+		if !wantErr {
+			if !r.Completed[0] {
+				t.Errorf("workload %d: cell not marked completed", wi)
+			}
+			if r.Results[0] != clean.Raw[wi].Results[0] {
+				t.Errorf("workload %d: surviving cell diverged from clean run", wi)
+			}
+		} else if r.Completed[0] {
+			t.Errorf("workload %d: failed cell marked completed", wi)
+		}
+	}
+	done := m.Completed()
+	if len(done.Specs) != 4 || len(done.Raw) != 4 || len(done.BranchMPKI) != 4 {
+		t.Fatalf("Completed kept %d/%d/%d entries, want 4", len(done.Specs), len(done.Raw), len(done.BranchMPKI))
+	}
+	for _, k := range done.Policies {
+		if len(done.ICacheMPKI[k]) != 4 || len(done.BTBMPKI[k]) != 4 {
+			t.Errorf("%v: Completed MPKI vectors not filtered", k)
+		}
+	}
+	if len(m.Stats.Failed()) != 1 {
+		t.Errorf("stats report %d failed workloads, want 1", len(m.Stats.Failed()))
+	}
+}
+
+// An injected stall must trip the task deadline instead of hanging the
+// run, and surface as ErrTaskTimeout rather than a bare context error.
+func TestFaultStallTripsTaskDeadline(t *testing.T) {
+	opts := faultOptions(1)
+	opts.TaskTimeout = 100 * time.Millisecond
+	opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpTask, Action: faultinject.Stall})
+	start := time.Now()
+	m, err := Run(opts)
+	if err == nil {
+		t.Fatal("stalled run reported no error")
+	}
+	if m != nil {
+		t.Error("measurements returned alongside error without KeepGoing")
+	}
+	if !errors.Is(err, ErrTaskTimeout) {
+		t.Errorf("error is not ErrTaskTimeout: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to trip", elapsed)
+	}
+}
+
+// With only the stall watchdog armed, a replay that stops reporting
+// progress must fail with ErrTaskStalled even though no absolute
+// deadline exists.
+func TestFaultStallTripsWatchdog(t *testing.T) {
+	opts := faultOptions(1)
+	opts.StallTimeout = 50 * time.Millisecond
+	opts.ProgressEvery = 64 // tiny replays must still report progress
+	opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpProgress, Action: faultinject.Stall})
+	m, err := Run(opts)
+	if err == nil {
+		t.Fatal("stalled run reported no error")
+	}
+	if m != nil {
+		t.Error("measurements returned alongside error without KeepGoing")
+	}
+	if !errors.Is(err, ErrTaskStalled) {
+		t.Errorf("error is not ErrTaskStalled: %v", err)
+	}
+}
+
+// A transient task failure must be retried and succeed, leaving results
+// bit-identical to a clean run and one retry in the stats.
+func TestFaultTransientRetries(t *testing.T) {
+	ref := serialReference(t, faultOptions(3))
+	opts := faultOptions(3)
+	opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpTask, Nth: 2, Action: faultinject.Transient})
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatalf("transient fault not retried: %v", err)
+	}
+	requireMatchesReference(t, m, ref)
+	if m.Stats.Retries != 1 {
+		t.Errorf("stats retries %d, want 1", m.Stats.Retries)
+	}
+	if got := opts.Faults.Calls(faultinject.OpTask); got != 4 {
+		t.Errorf("task attempts %d, want 4 (3 cells + 1 retry)", got)
+	}
+}
+
+// A fault that stays transient past the retry budget must surface the
+// transient error instead of retrying forever.
+func TestFaultTransientExhaustsRetries(t *testing.T) {
+	opts := faultOptions(1)
+	opts.MaxRetries = 2
+	opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpTask, Nth: 1, Count: 100, Action: faultinject.Transient})
+	observer, count, _ := countEvents()
+	opts.Observer = observer
+	_, err := Run(opts)
+	if err == nil {
+		t.Fatal("exhausted retries reported no error")
+	}
+	if !strings.Contains(err.Error(), "injected transient") {
+		t.Errorf("error lost the transient cause: %v", err)
+	}
+	if got := opts.Faults.Calls(faultinject.OpTask); got != 3 {
+		t.Errorf("task attempts %d, want 3 (initial + 2 retries)", got)
+	}
+	if got := count(obs.TaskRetry); got != 2 {
+		t.Errorf("%d TaskRetry events, want 2", got)
+	}
+}
+
+// MaxRetries < 0 disables retries entirely: the first transient failure
+// surfaces immediately.
+func TestFaultNegativeMaxRetriesDisables(t *testing.T) {
+	opts := faultOptions(1)
+	opts.MaxRetries = -1
+	opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpTask, Action: faultinject.Transient})
+	if _, err := Run(opts); err == nil {
+		t.Fatal("disabled retries still retried a transient failure")
+	}
+	if got := opts.Faults.Calls(faultinject.OpTask); got != 1 {
+		t.Errorf("task attempts %d, want 1", got)
+	}
+}
+
+// A transient result-cache write failure must retry the task and
+// succeed on the second attempt, filling the cache.
+func TestFaultCachePutTransientRetries(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(faultinject.Rule{Op: faultinject.OpCachePut, Nth: 1, Action: faultinject.Transient})
+	cache.SetTestHooks(resultcache.TestHooks{
+		BeforePut: func(path string) error { return in.Fire(context.Background(), faultinject.OpCachePut) },
+	})
+	ref := serialReference(t, faultOptions(2))
+	opts := faultOptions(2)
+	opts.Cache = cache
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatalf("transient cache write not retried: %v", err)
+	}
+	requireMatchesReference(t, m, ref)
+	if m.Stats.Retries != 1 {
+		t.Errorf("stats retries %d, want 1", m.Stats.Retries)
+	}
+	if n, err := cache.Len(); err != nil || n != 2 {
+		t.Errorf("cache holds %d entries (err %v), want 2", n, err)
+	}
+}
+
+// An entry corrupted on disk between runs must be quarantined on the
+// warm rerun, re-simulated, and counted — with every healthy cell still
+// served from the cache and results identical to the cold run.
+func TestFaultCacheCorruptQuarantinedOnRerun(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(faultinject.Rule{Op: faultinject.OpCacheCorrupt, Nth: 1, Action: faultinject.Corrupt})
+	cache.SetTestHooks(resultcache.TestHooks{
+		AfterPut: func(path string) {
+			if in.Hit(faultinject.OpCacheCorrupt) {
+				if err := faultinject.CorruptFile(path); err != nil {
+					t.Errorf("corrupting %s: %v", path, err)
+				}
+			}
+		},
+	})
+	opts := faultOptions(3)
+	opts.Cache = cache
+	cold, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheQuarantines != 1 {
+		t.Errorf("quarantines %d, want 1", warm.Stats.CacheQuarantines)
+	}
+	if warm.Stats.CacheHits != 2 || warm.Stats.CacheMisses != 1 {
+		t.Errorf("cache counters %d/%d, want 2 hits, 1 miss", warm.Stats.CacheHits, warm.Stats.CacheMisses)
+	}
+	for wi := range cold.Raw {
+		if warm.Raw[wi].Results[0] != cold.Raw[wi].Results[0] {
+			t.Errorf("workload %d: warm rerun diverged after quarantine", wi)
+		}
+	}
+	if n, err := cache.Len(); err != nil || n != 3 {
+		t.Errorf("cache holds %d entries (err %v), want 3 (quarantined cell repaired)", n, err)
+	}
+}
+
+// Keep-going cannot outlast the caller's context: a cancelled run still
+// returns its partial measurements, alongside the cancellation error.
+func TestFaultKeepGoingCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := faultOptions(2)
+	opts.KeepGoing = true
+	m, err := RunContext(ctx, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled keep-going run returned %v", err)
+	}
+	if m == nil {
+		t.Fatal("cancelled keep-going run dropped its partial measurements")
+	}
+}
+
+// Keep-going with an un-runnable workload completes the suite, annotates
+// the failure, and the aggregate error stays nil.
+func TestFaultKeepGoingBadWorkload(t *testing.T) {
+	good := workload.SuiteN(2)
+	opts := faultOptions(2)
+	opts.Workloads = []workload.Spec{good[0], badSpec("bad-gamma"), good[1]}
+	opts.KeepGoing = true
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatalf("keep-going run aborted: %v", err)
+	}
+	if m.Raw[1].Err == nil {
+		t.Error("failed workload not annotated")
+	}
+	if m.Raw[0].Err != nil || m.Raw[2].Err != nil {
+		t.Error("healthy workloads annotated with errors")
+	}
+	done := m.Completed()
+	if len(done.Specs) != 2 || done.Specs[0].Name != good[0].Name || done.Specs[1].Name != good[1].Name {
+		t.Errorf("Completed kept wrong workloads: %+v", done.Specs)
+	}
+	// Without KeepGoing the same suite must still abort.
+	opts.KeepGoing = false
+	if m, err := Run(opts); err == nil || m != nil {
+		t.Errorf("fail-fast run returned (%v, %v), want (nil, error)", m, err)
+	}
+}
+
+// The headroom computation honors keep-going: a bad workload is skipped
+// and counted instead of sinking the whole bound computation.
+func TestFaultKeepGoingHeadroom(t *testing.T) {
+	good := workload.SuiteN(1)
+	opts := faultOptions(1)
+	opts.Workloads = []workload.Spec{badSpec("bad-delta"), good[0]}
+	if _, err := ComputeHeadroom(context.Background(), opts); err == nil {
+		t.Fatal("fail-fast headroom reported no error")
+	}
+	opts.KeepGoing = true
+	rep, err := ComputeHeadroom(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("keep-going headroom aborted: %v", err)
+	}
+	if rep.Failed != 1 {
+		t.Errorf("failed count %d, want 1", rep.Failed)
+	}
+	if !strings.Contains(rep.Render(), "1 workloads failed") {
+		t.Errorf("render missing skip note:\n%s", rep.Render())
+	}
+}
+
+// With every fault-tolerance option armed but no fault firing, results
+// must stay bit-identical to the serial reference — robustness must be
+// invisible on healthy runs.
+func TestFaultZeroInjectionBitIdentical(t *testing.T) {
+	ref := serialReference(t, faultOptions(4))
+	opts := faultOptions(4)
+	opts.TaskTimeout = time.Hour
+	opts.StallTimeout = time.Hour
+	opts.KeepGoing = true
+	opts.MaxRetries = 3
+	opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpTask, Nth: 1 << 40, Action: faultinject.Panic})
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatchesReference(t, m, ref)
+	if m.Completed() != m {
+		t.Error("Completed() copied a fully-successful run")
+	}
+	if m.Stats.Retries != 0 || len(m.Stats.Failed()) != 0 {
+		t.Errorf("healthy run reported %d retries, %d failures", m.Stats.Retries, len(m.Stats.Failed()))
+	}
+}
+
+// A deterministic seed-driven pick addresses one cell of a suite
+// without hand-picking it; the same seed must fault the same cell.
+func TestFaultSeedDrivenPlacement(t *testing.T) {
+	cells := uint64(4)
+	nth := faultinject.NthFromSeed(7, faultinject.OpTask, cells)
+	run := func() int {
+		opts := faultOptions(int(cells))
+		opts.KeepGoing = true
+		opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpTask, Nth: nth, Action: faultinject.Panic})
+		m, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for wi, r := range m.Raw {
+			if r.Err != nil {
+				return wi
+			}
+		}
+		return -1
+	}
+	first := run()
+	if first < 0 {
+		t.Fatal("no cell faulted")
+	}
+	if again := run(); again != first {
+		t.Errorf("same seed faulted cell %d then %d", first, again)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 
 	"ghrpsim/internal/frontend"
@@ -31,6 +32,9 @@ type HeadroomReport struct {
 	OPTMean  float64
 	Rows     []HeadroomRow
 	Included int // workloads with a positive LRU-to-OPT gap
+	// Failed counts workloads skipped on a keep-going run; the means
+	// cover only the workloads that completed.
+	Failed int
 }
 
 // ComputeHeadroom runs the suite's I-cache under every policy plus the
@@ -44,63 +48,40 @@ type HeadroomReport struct {
 // bit-identical to the streaming one, so cells a main suite run already
 // simulated are loaded instead of replayed (the OPT pass itself is
 // never cached: its state is not a frontend.Result).
+//
+// Per-workload failures — including panics, which are contained to a
+// PanicError — abort the computation, or with Options.KeepGoing skip
+// the workload (counted in HeadroomReport.Failed) so one bad workload
+// cannot sink a long bound computation.
 func ComputeHeadroom(ctx context.Context, opts Options) (HeadroomReport, error) {
 	opts, err := opts.prepare()
 	if err != nil {
 		return HeadroomReport{}, err
 	}
-	n := len(opts.Workloads)
-	lruV := make([]float64, n)
-	optV := make([]float64, n)
+	var lruV, optV []float64
 	polV := map[frontend.PolicyKind][]float64{}
-	for _, k := range opts.Policies {
-		polV[k] = make([]float64, n)
-	}
+	failed := 0
 
-	for wi, spec := range opts.Workloads {
+	for _, spec := range opts.Workloads {
 		if err := ctx.Err(); err != nil {
 			return HeadroomReport{}, err
 		}
-		recs, err := specRecords(opts, spec)
+		lru, optMPKI, pol, err := headroomWorkload(opts, spec)
 		if err != nil {
+			if opts.KeepGoing {
+				failed++
+				continue
+			}
 			return HeadroomReport{}, fmt.Errorf("sim: workload %s: %w", spec.Name, err)
 		}
-		// Count the stream once and share the warm-up window across
-		// policies instead of re-counting inside SimulateRecords per
-		// policy.
-		total, err := frontend.CountInstructions(recs, opts.Config.InstrBytes, uint64(opts.Config.ICache.BlockBytes))
-		if err != nil {
-			return HeadroomReport{}, err
-		}
-		warm := opts.Config.WarmupFor(total)
-		target := targetFor(spec, opts.Scale)
+		lruV = append(lruV, lru)
+		optV = append(optV, optMPKI)
 		for _, k := range opts.Policies {
-			res, err := headroomPolicyResult(opts, spec, k, target, warm, recs)
-			if err != nil {
-				return HeadroomReport{}, err
-			}
-			polV[k][wi] = res.ICacheMPKI()
-			if k == frontend.PolicyLRU {
-				lruV[wi] = res.ICacheMPKI()
-			}
+			polV[k] = append(polV[k], pol[k])
 		}
-		blocks, total, err := frontend.BlockStream(recs, opts.Config)
-		if err != nil {
-			return HeadroomReport{}, err
-		}
-		warm = opts.Config.WarmupFor(total)
-		skip, err := frontend.AccessIndexAt(recs, opts.Config, warm)
-		if err != nil {
-			return HeadroomReport{}, err
-		}
-		ost, err := opt.Simulate(blocks, opts.Config.ICache.Sets(), opts.Config.ICache.Ways, skip)
-		if err != nil {
-			return HeadroomReport{}, err
-		}
-		optV[wi] = ost.MPKI(total - warm)
 	}
 
-	rep := HeadroomReport{LRUMean: stats.Mean(lruV), OPTMean: stats.Mean(optV)}
+	rep := HeadroomReport{LRUMean: stats.Mean(lruV), OPTMean: stats.Mean(optV), Failed: failed}
 	// Aggregate the gap over workloads rather than averaging
 	// per-workload ratios, which tiny-gap outliers dominate.
 	var lruSum, optSum float64
@@ -125,6 +106,55 @@ func ComputeHeadroom(ctx context.Context, opts Options) (HeadroomReport, error) 
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
+}
+
+// headroomWorkload computes one workload's LRU, OPT and per-policy
+// I-cache MPKI values. A panic anywhere in the workload's generation,
+// replay or OPT pass is contained to a PanicError.
+func headroomWorkload(opts Options, spec workload.Spec) (lru, optMPKI float64, pol map[frontend.PolicyKind]float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	recs, err := specRecords(opts, spec)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	// Count the stream once and share the warm-up window across
+	// policies instead of re-counting inside SimulateRecords per
+	// policy.
+	total, err := frontend.CountInstructions(recs, opts.Config.InstrBytes, uint64(opts.Config.ICache.BlockBytes))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	warm := opts.Config.WarmupFor(total)
+	target := targetFor(spec, opts.Scale)
+	pol = map[frontend.PolicyKind]float64{}
+	for _, k := range opts.Policies {
+		res, err := headroomPolicyResult(opts, spec, k, target, warm, recs)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		pol[k] = res.ICacheMPKI()
+		if k == frontend.PolicyLRU {
+			lru = res.ICacheMPKI()
+		}
+	}
+	blocks, total, err := frontend.BlockStream(recs, opts.Config)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	warm = opts.Config.WarmupFor(total)
+	skip, err := frontend.AccessIndexAt(recs, opts.Config, warm)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	ost, err := opt.Simulate(blocks, opts.Config.ICache.Sets(), opts.Config.ICache.Ways, skip)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return lru, ost.MPKI(total - warm), pol, nil
 }
 
 // headroomPolicyResult produces one (workload, policy) cell for the
@@ -174,6 +204,9 @@ func specRecords(opts Options, spec workload.Spec) ([]trace.Record, error) {
 func (r HeadroomReport) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "I-cache headroom vs Belady's OPT (mean over %d gapped workloads)\n", r.Included)
+	if r.Failed > 0 {
+		fmt.Fprintf(&b, "  (%d workloads failed and were skipped)\n", r.Failed)
+	}
 	fmt.Fprintf(&b, "  %-8s %10s %12s\n", "policy", "mean MPKI", "gap closed")
 	fmt.Fprintf(&b, "  %-8s %10.3f %12s\n", "OPT", r.OPTMean, "100%")
 	for _, row := range r.Rows {

@@ -9,10 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ghrpsim/internal/faultinject"
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/obs"
 	"ghrpsim/internal/resultcache"
@@ -23,6 +25,14 @@ import (
 // Options.ExecSeed means "unset" and defaults to seed 1, so seed 0 needs
 // this explicit sentinel.
 const ExecSeedZero = ^uint64(0)
+
+const (
+	// DefaultMaxRetries is the retry budget for transient task failures.
+	DefaultMaxRetries = 2
+	// DefaultRetryBackoff is the base backoff before the first retry,
+	// doubled per attempt with deterministic jitter.
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
 
 // Options configures a suite run.
 type Options struct {
@@ -61,6 +71,30 @@ type Options struct {
 	// repeat runs skip their redundant baseline cells. Hits are
 	// reported via obs.PolicyCached events and RunStats cache counters.
 	Cache *resultcache.Cache
+	// TaskTimeout bounds one (workload, policy) task's wall time,
+	// shared prep included for whichever task runs it; 0 disables. A
+	// task over deadline fails with ErrTaskTimeout.
+	TaskTimeout time.Duration
+	// StallTimeout bounds the time between a task's progress reports;
+	// 0 disables. A task that stops advancing fails with ErrTaskStalled
+	// even while TaskTimeout would still allow it.
+	StallTimeout time.Duration
+	// MaxRetries is how many times a task that failed with a transient
+	// (retryable) error is re-attempted before the error surfaces; 0
+	// defaults to DefaultMaxRetries, negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry, doubled
+	// per attempt with deterministic jitter; 0 defaults to
+	// DefaultRetryBackoff, negative disables the delay.
+	RetryBackoff time.Duration
+	// KeepGoing completes the suite when cells fail: failed workloads
+	// are annotated on the Measurements (WorkloadResult.Err,
+	// Stats.Failed) and dropped by Completed(), instead of the run
+	// returning nil Measurements with the joined error.
+	KeepGoing bool
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// scheduler's named sites. Test-only; see internal/faultinject.
+	Faults *faultinject.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +121,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProgressEvery == 0 {
 		o.ProgressEvery = frontend.DefaultProgressEvery
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = DefaultRetryBackoff
 	}
 	return o
 }
@@ -123,6 +163,13 @@ func targetFor(spec workload.Spec, scale float64) uint64 {
 type WorkloadResult struct {
 	Spec    workload.Spec
 	Results []frontend.Result
+	// Err is the workload's first task error (nil when every cell
+	// completed); on keep-going runs it annotates the failed cell
+	// instead of aborting the suite.
+	Err error
+	// Completed marks which policy cells hold a real result, indexed
+	// like Results. On error-free runs every element is true.
+	Completed []bool
 }
 
 // Measurements is a suite run's full outcome: per-policy MPKI vectors
@@ -150,6 +197,43 @@ func (m *Measurements) PolicyIndex(kind frontend.PolicyKind) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Completed filters a keep-going run's measurements down to the
+// workloads whose every cell completed, keeping the MPKI vectors
+// aligned across policies. When nothing failed it returns the receiver
+// unchanged, so error-free runs stay bit-identical through the filter.
+func (m *Measurements) Completed() *Measurements {
+	failed := false
+	for _, r := range m.Raw {
+		if r.Err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		return m
+	}
+	out := &Measurements{
+		Options:    m.Options,
+		Policies:   m.Policies,
+		ICacheMPKI: map[frontend.PolicyKind][]float64{},
+		BTBMPKI:    map[frontend.PolicyKind][]float64{},
+		Stats:      m.Stats,
+	}
+	for wi, r := range m.Raw {
+		if r.Err != nil {
+			continue
+		}
+		out.Specs = append(out.Specs, m.Specs[wi])
+		out.Raw = append(out.Raw, r)
+		out.BranchMPKI = append(out.BranchMPKI, m.BranchMPKI[wi])
+		for _, k := range m.Policies {
+			out.ICacheMPKI[k] = append(out.ICacheMPKI[k], m.ICacheMPKI[k][wi])
+			out.BTBMPKI[k] = append(out.BTBMPKI[k], m.BTBMPKI[k][wi])
+		}
+	}
+	return out
 }
 
 // Run simulates every workload under every policy; see RunContext.
@@ -209,6 +293,14 @@ type runState struct {
 // context cancellation aborts in-flight replays promptly and is
 // reported via ctx.Err(), with every unfinished workload still emitting
 // a WorkloadFailed event so RunStats accounts for the whole suite.
+//
+// The scheduler is fault-tolerant: a panicking task is contained to a
+// PanicError failing only its workload while the queue drains; tasks
+// are bounded by Options.TaskTimeout and a progress-based stall
+// watchdog (Options.StallTimeout); transient failures (IsRetryable)
+// are re-attempted up to Options.MaxRetries times with deterministic
+// backoff; and Options.KeepGoing turns cell failures into annotations
+// on the returned Measurements instead of a nil result.
 func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	opts, err := opts.prepare()
 	if err != nil {
@@ -241,7 +333,12 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 		r.states[wi].pending.Store(int32(np))
 		// Result slots are preallocated so tasks write disjoint elements
 		// without a lock.
-		out.Raw[wi] = WorkloadResult{Spec: opts.Workloads[wi], Results: make([]frontend.Result, np)}
+		out.Raw[wi] = WorkloadResult{Spec: opts.Workloads[wi],
+			Results: make([]frontend.Result, np), Completed: make([]bool, np)}
+	}
+	var quarantined0 int64
+	if opts.Cache != nil {
+		quarantined0 = opts.Cache.Quarantined()
 	}
 	runStart := time.Now()
 	r.observe(obs.Event{Kind: obs.RunStart, Workloads: n, Policies: np})
@@ -271,7 +368,7 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 			for t := range tasks {
 				if err := ctx.Err(); err != nil {
 					r.states[t.wi].fail(err)
-				} else if err := r.runTask(ctx, t); err != nil {
+				} else if err := r.runTaskRetrying(ctx, t); err != nil {
 					r.states[t.wi].fail(err)
 				}
 				r.finishTask(ctx, t.wi)
@@ -281,6 +378,9 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	wg.Wait()
 	r.observe(obs.Event{Kind: obs.RunDone, Workloads: n, Elapsed: time.Since(runStart)})
 	out.Stats = collector.Stats()
+	if opts.Cache != nil {
+		out.Stats.CacheQuarantines = int(opts.Cache.Quarantined() - quarantined0)
+	}
 
 	all := make([]error, 0, n+1)
 	if err := ctx.Err(); err != nil {
@@ -291,10 +391,151 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 			all = append(all, e)
 		}
 	}
-	if err := errors.Join(all...); err != nil {
+	err = errors.Join(all...)
+	switch {
+	case err == nil:
+		return out, nil
+	case !opts.KeepGoing:
 		return nil, err
+	case ctx.Err() != nil:
+		// Keep-going cannot outlast the caller's context: hand back the
+		// partial measurements alongside the cancellation.
+		return out, err
+	default:
+		// Keep-going run with cell failures: the suite completed, failed
+		// workloads are annotated on the measurements (Raw[].Err,
+		// Stats.Failed) and dropped by Completed().
+		return out, nil
 	}
-	return out, nil
+}
+
+// taskWatch scopes one task attempt's context: an absolute deadline
+// (Options.TaskTimeout, cause ErrTaskTimeout) and a progress-based
+// stall watchdog (Options.StallTimeout, cause ErrTaskStalled) layered
+// over the run context. With both disabled it is a free passthrough.
+type taskWatch struct {
+	ctx  context.Context
+	last atomic.Int64  // UnixNano of the latest progress report
+	done chan struct{} // closes to stop the watchdog goroutine
+	stop []func()      // context cancels, released on close
+}
+
+func newTaskWatch(ctx context.Context, taskTimeout, stallTimeout time.Duration) *taskWatch {
+	w := &taskWatch{}
+	if taskTimeout > 0 {
+		tctx, cancel := context.WithTimeoutCause(ctx, taskTimeout, ErrTaskTimeout)
+		ctx = tctx
+		w.stop = append(w.stop, cancel)
+	}
+	if stallTimeout > 0 {
+		tctx, cancel := context.WithCancelCause(ctx)
+		ctx = tctx
+		w.stop = append(w.stop, func() { cancel(nil) })
+		w.done = make(chan struct{})
+		w.last.Store(time.Now().UnixNano())
+		poll := stallTimeout / 4
+		if poll < time.Millisecond {
+			poll = time.Millisecond
+		}
+		go func() {
+			tick := time.NewTicker(poll)
+			defer tick.Stop()
+			for {
+				select {
+				case <-w.done:
+					return
+				case <-tctx.Done():
+					return
+				case <-tick.C:
+					if time.Since(time.Unix(0, w.last.Load())) > stallTimeout {
+						cancel(ErrTaskStalled)
+						return
+					}
+				}
+			}
+		}()
+	}
+	w.ctx = ctx
+	return w
+}
+
+// touch records task progress, resetting the stall watchdog.
+func (w *taskWatch) touch() {
+	if w.done != nil {
+		w.last.Store(time.Now().UnixNano())
+	}
+}
+
+// close stops the watchdog and releases the attempt's contexts.
+func (w *taskWatch) close() {
+	if w.done != nil {
+		close(w.done)
+	}
+	for _, stop := range w.stop {
+		stop()
+	}
+}
+
+// fault translates an abort of the task's context into its cause, so a
+// tripped deadline surfaces as ErrTaskTimeout (and a stall as
+// ErrTaskStalled) rather than a bare context error. Aborts of the run
+// context pass through as-is, keeping RunContext's once-per-run
+// cancellation reporting intact.
+func (w *taskWatch) fault(err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := w.ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+		if cause := context.Cause(w.ctx); cause != nil {
+			return cause
+		}
+	}
+	return err
+}
+
+// runTaskRetrying drives one task through runTaskSafe, re-attempting
+// transient failures (IsRetryable) up to Options.MaxRetries times with
+// exponential, deterministically-jittered backoff. Each retry emits an
+// obs.TaskRetry event; a cancelled run context stops the loop.
+func (r *runState) runTaskRetrying(ctx context.Context, t task) error {
+	opts := r.opts
+	maxRetries := opts.MaxRetries
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	for attempt := 0; ; attempt++ {
+		err := r.runTaskSafe(ctx, t)
+		if err == nil || !IsRetryable(err) || attempt >= maxRetries || ctx.Err() != nil {
+			return err
+		}
+		retry := attempt + 1
+		r.observe(obs.Event{Kind: obs.TaskRetry,
+			Workload: opts.Workloads[t.wi].Name, WorkloadIndex: t.wi,
+			Policy: opts.Policies[t.pi].String(), PolicyIndex: t.pi,
+			Attempt: retry, Err: err})
+		seed := opts.ExecSeed ^ uint64(t.wi)<<20 ^ uint64(t.pi)
+		if delay := retryDelay(opts.RetryBackoff, retry, seed); delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return err
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// runTaskSafe contains one task attempt's panics: a panicking replay
+// (or injected panic) becomes a PanicError carrying the goroutine
+// stack, failing that workload while the rest of the queue drains.
+func (r *runState) runTaskSafe(ctx context.Context, t task) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return r.runTask(ctx, t)
 }
 
 // runTask executes one (workload, policy) cell: result-cache lookup,
@@ -317,12 +558,25 @@ func (r *runState) runTask(ctx context.Context, t task) error {
 	})
 
 	// A sibling task already failed this workload: don't burn a worker
-	// on a replay whose result would be discarded.
+	// on a replay whose result would be discarded. The permanent wrapper
+	// keeps a sibling's transient error from triggering retries of a
+	// task that never ran.
 	st.mu.Lock()
 	werr := st.err
 	st.mu.Unlock()
 	if werr != nil {
-		return werr
+		return &permanentError{werr}
+	}
+
+	// The watch scopes this attempt: its deadline and stall watchdog die
+	// with the attempt, so a retry starts with a fresh budget.
+	w := newTaskWatch(ctx, opts.TaskTimeout, opts.StallTimeout)
+	defer w.close()
+
+	if opts.Faults != nil {
+		if err := opts.Faults.Fire(w.ctx, faultinject.OpTask); err != nil {
+			return w.fault(err)
+		}
 	}
 
 	// The cache key depends only on the cell's inputs, so a hit skips
@@ -348,6 +602,15 @@ func (r *runState) runTask(ctx context.Context, t task) error {
 	}
 
 	st.prepOnce.Do(func() {
+		// Prep shares this attempt's watch: a hung generator trips the
+		// same deadline and stall watchdog a hung replay would. A prep
+		// panic is contained here so the sync.Once is not poisoned
+		// mid-flight; siblings see it as the workload's prep error.
+		defer func() {
+			if p := recover(); p != nil {
+				st.prepErr = &PanicError{Value: p, Stack: debug.Stack()}
+			}
+		}()
 		prog, err := spec.Generate()
 		if err != nil {
 			st.prepErr = err
@@ -355,24 +618,35 @@ func (r *runState) runTask(ctx context.Context, t task) error {
 		}
 		counting := frontend.StreamOptions{
 			ProgressEvery: opts.ProgressEvery,
-			Progress:      func(records, instructions uint64) error { return ctx.Err() },
+			Progress: func(records, instructions uint64) error {
+				w.touch()
+				return w.ctx.Err()
+			},
 		}
 		total, _, err := frontend.CountProgram(opts.Config, prog, opts.ExecSeed, target, counting)
 		if err != nil {
-			st.prepErr = err
+			st.prepErr = w.fault(err)
 			return
 		}
 		st.prog, st.warm = prog, opts.Config.WarmupFor(total)
 	})
 	if st.prepErr != nil {
-		return st.prepErr
+		// Prep runs once per workload and cannot be re-attempted, so its
+		// error is permanent for every task that observes it.
+		return &permanentError{st.prepErr}
 	}
 
 	start := time.Now()
 	so := frontend.StreamOptions{
 		ProgressEvery: opts.ProgressEvery,
 		Progress: func(records, instructions uint64) error {
-			if err := ctx.Err(); err != nil {
+			w.touch()
+			if opts.Faults != nil {
+				if err := opts.Faults.Fire(w.ctx, faultinject.OpProgress); err != nil {
+					return err
+				}
+			}
+			if err := w.ctx.Err(); err != nil {
 				return err
 			}
 			r.observe(obs.Event{Kind: obs.Tick, Workload: spec.Name, WorkloadIndex: t.wi,
@@ -383,18 +657,21 @@ func (r *runState) runTask(ctx context.Context, t task) error {
 	}
 	res, err := frontend.SimulateProgramStream(opts.Config, kind, st.prog, opts.ExecSeed, target, st.warm, so)
 	if err != nil {
-		return err
+		return w.fault(err)
+	}
+	// The cache fill happens before the result is recorded: a failed
+	// write surfaces as a retryable error while the attempt is still
+	// side-effect free, so the retry re-simulates and re-fills cleanly.
+	if opts.Cache != nil {
+		if err := opts.Cache.Put(key, res); err != nil {
+			return &RetryableError{fmt.Errorf("result cache put: %w", err)}
+		}
 	}
 	r.record(t, res)
 	r.observe(obs.Event{Kind: obs.PolicyDone, Workload: spec.Name, WorkloadIndex: t.wi,
 		Policy: kind.String(), PolicyIndex: t.pi, Policies: np,
 		Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start),
 		CacheMiss: cacheMiss})
-	if opts.Cache != nil {
-		if err := opts.Cache.Put(key, res); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
@@ -403,6 +680,7 @@ func (r *runState) runTask(ctx context.Context, t task) error {
 func (r *runState) record(t task, res frontend.Result) {
 	kind := r.opts.Policies[t.pi]
 	r.out.Raw[t.wi].Results[t.pi] = res
+	r.out.Raw[t.wi].Completed[t.pi] = true
 	r.out.ICacheMPKI[kind][t.wi] = res.ICacheMPKI()
 	r.out.BTBMPKI[kind][t.wi] = res.BTBMPKI()
 	if t.pi == 0 {
@@ -435,6 +713,7 @@ func (r *runState) finishTask(ctx context.Context, wi int) {
 			Workloads: n, Elapsed: elapsed})
 		return
 	}
+	r.out.Raw[wi].Err = err
 	r.observe(obs.Event{Kind: obs.WorkloadFailed, Workload: spec.Name, WorkloadIndex: wi,
 		Workloads: n, Elapsed: elapsed, Err: err})
 	if ctx.Err() == nil || !errors.Is(err, ctx.Err()) {
