@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race-smoke fault-smoke fuzz-smoke golden-update ci
+.PHONY: build vet test race-smoke fault-smoke fuzz-smoke golden-update bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# race-smoke exercises the concurrent suite runner (including the
-# flattened scheduler's equivalence tests and the on-disk result cache),
-# its cancellation paths and the obs collector under the race detector on
-# a reduced suite; the full suite under -race is too slow for routine CI.
+# race-smoke exercises the concurrent suite runner (including the fused
+# scheduler's equivalence tests, the fan-out engine and the on-disk
+# result cache), its cancellation paths and the obs collector under the
+# race detector on a reduced suite; the full suite under -race is too
+# slow for routine CI.
 race-smoke:
-	$(GO) test -race -run 'TestRun|TestStream|TestExecSeed|TestMulti|TestCollector|TestProgress|TestScheduler|TestSweepReuses|TestHeadroomShares|TestCache' \
+	$(GO) test -race -run 'TestRun|TestStream|TestExecSeed|TestMulti|TestCollector|TestProgress|TestScheduler|TestSweepReuses|TestHeadroomShares|TestCache|TestFanOut|TestPrefetch|TestCount' \
 		./internal/sim/... ./internal/obs/... ./internal/frontend/... ./internal/resultcache/...
 
 # fault-smoke drives the suite runner's failure paths — injected
@@ -40,4 +41,17 @@ fuzz-smoke:
 golden-update:
 	$(GO) test -run TestGolden -update ./internal/sim/
 
-ci: build vet test race-smoke fault-smoke
+# bench regenerates BENCH_PR4.json: the fused fan-out replay measured
+# against the per-policy baseline on a sizeable suite under the full
+# eight-policy roster (the tool asserts the two paths are bit-identical
+# before reporting; the speedup grows with roster size because policies
+# add lane work, not executor passes). bench-smoke runs the same
+# comparison on a tiny suite to stdout only, so CI exercises the
+# benchmark harness without overwriting the committed numbers.
+bench:
+	$(GO) run ./cmd/bench -n 24 -scale 0.3 -extended -out BENCH_PR4.json
+
+bench-smoke:
+	$(GO) run ./cmd/bench -n 2 -scale 0.02
+
+ci: build vet test race-smoke fault-smoke bench-smoke

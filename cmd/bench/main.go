@@ -1,0 +1,189 @@
+// Command bench measures the fused fan-out replay against the
+// per-policy baseline it replaced, and emits the comparison as JSON
+// (the numbers recorded in BENCH_PR4.json).
+//
+// Both sides simulate the identical suite under the identical policy
+// roster with the same worker pool: the baseline executes each
+// workload's program once per policy (counting pre-pass plus N
+// streaming replays — the pre-fusion scheduler's execution strategy),
+// the fused side executes it twice (counting pre-pass plus one
+// SimulateFanOut driving every policy lane in lockstep). Program
+// generation happens once, before timing, so the comparison isolates
+// replay cost. The fused results are asserted bit-identical to the
+// baseline's before any number is reported — a benchmark of a divergent
+// fast path would be meaningless.
+//
+// Usage:
+//
+//	bench [-n workloads] [-scale f] [-parallel n] [-extended] [-out FILE]
+//
+// With -out the JSON report is written to FILE; it always goes to
+// stdout. policy_records counts records delivered to policy lanes
+// (records x policies), so records_per_sec is comparable across sides;
+// allocs_per_record is heap allocations per policy record during the
+// phase, taken from runtime.MemStats.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/workload"
+)
+
+type pathReport struct {
+	WallSeconds     float64 `json:"wall_seconds"`
+	PolicyRecords   uint64  `json:"policy_records"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+type report struct {
+	Workloads   int        `json:"workloads"`
+	Scale       float64    `json:"scale"`
+	Policies    []string   `json:"policies"`
+	Parallelism int        `json:"parallelism"`
+	Baseline    pathReport `json:"baseline"`
+	Fused       pathReport `json:"fused"`
+	Speedup     float64    `json:"speedup"`
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 12, "number of suite workloads")
+		scale    = flag.Float64("scale", 0.2, "instruction budget scale factor")
+		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		extended = flag.Bool("extended", false, "bench the extended eight-policy roster instead of the paper's five")
+		out      = flag.String("out", "", "also write the JSON report to this file")
+	)
+	flag.Parse()
+
+	kinds := frontend.PaperPolicies()
+	if *extended {
+		kinds = frontend.ExtendedPolicies()
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := frontend.DefaultConfig()
+	specs := workload.SuiteN(*n)
+
+	// Generate programs and targets up front, outside both timed phases.
+	progs := make([]*workload.Program, len(specs))
+	targets := make([]uint64, len(specs))
+	for wi, spec := range specs {
+		prog, err := spec.Generate()
+		fail(err)
+		progs[wi] = prog
+		targets[wi] = uint64(float64(spec.DefaultInstructions) * *scale)
+	}
+
+	baseline, baseRes := timed(workers, len(specs), len(kinds), func(wi int) ([]frontend.Result, error) {
+		total, _, err := frontend.CountProgram(cfg, progs[wi], 1, targets[wi], frontend.StreamOptions{})
+		if err != nil {
+			return nil, err
+		}
+		warm := cfg.WarmupFor(total)
+		results := make([]frontend.Result, len(kinds))
+		for pi, kind := range kinds {
+			results[pi], err = frontend.SimulateProgramStream(cfg, kind, progs[wi], 1, targets[wi], warm, frontend.StreamOptions{})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	})
+
+	fused, fusedRes := timed(workers, len(specs), len(kinds), func(wi int) ([]frontend.Result, error) {
+		total, _, err := frontend.CountProgram(cfg, progs[wi], 1, targets[wi], frontend.StreamOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return frontend.SimulateFanOut(cfg, kinds, progs[wi], 1, targets[wi], cfg.WarmupFor(total), frontend.StreamOptions{})
+	})
+
+	for wi := range specs {
+		for pi := range kinds {
+			if fusedRes[wi][pi] != baseRes[wi][pi] {
+				fail(fmt.Errorf("fused replay diverged from baseline on %s/%v", specs[wi].Name, kinds[pi]))
+			}
+		}
+	}
+
+	rep := report{
+		Workloads:   len(specs),
+		Scale:       *scale,
+		Parallelism: workers,
+		Baseline:    baseline,
+		Fused:       fused,
+		Speedup:     baseline.WallSeconds / fused.WallSeconds,
+	}
+	for _, k := range kinds {
+		rep.Policies = append(rep.Policies, k.String())
+	}
+	blob, err := json.MarshalIndent(rep, "", "\t")
+	fail(err)
+	blob = append(blob, '\n')
+	os.Stdout.Write(blob)
+	if *out != "" {
+		fail(os.WriteFile(*out, blob, 0o644))
+	}
+}
+
+// timed runs one workload task per suite entry across a worker pool and
+// reports wall time, policy-record throughput and heap allocations per
+// policy record for the whole phase.
+func timed(workers, n, npolicies int, task func(wi int) ([]frontend.Result, error)) (pathReport, [][]frontend.Result) {
+	results := make([][]frontend.Result, n)
+	errs := make([]error, n)
+	tasks := make(chan int, n)
+	for wi := 0; wi < n; wi++ {
+		tasks <- wi
+	}
+	close(tasks)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for wi := range tasks {
+				results[wi], errs[wi] = task(wi)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	var records uint64
+	for wi := range results {
+		fail(errs[wi])
+		records += results[wi][0].Records
+	}
+	policyRecords := records * uint64(npolicies)
+	return pathReport{
+		WallSeconds:     wall.Seconds(),
+		PolicyRecords:   policyRecords,
+		RecordsPerSec:   float64(policyRecords) / wall.Seconds(),
+		AllocsPerRecord: float64(after.Mallocs-before.Mallocs) / float64(policyRecords),
+	}, results
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@
 //	experiments [-run all|table1|fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|headline|ablations]
 //	            [-n workloads] [-scale f] [-parallel n] [-progress] [-cache-dir DIR]
 //	            [-timeout d] [-task-timeout d] [-stall-timeout d] [-retries n] [-keep-going]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Interrupting a run (SIGINT/SIGTERM) cancels in-flight simulations
 // promptly; -progress streams live throughput to stderr and prints a
@@ -23,6 +24,10 @@
 // progress gaps; transient failures are retried up to -retries times;
 // -keep-going finishes the suite past failing cells, reporting them on
 // stderr and computing every figure over the surviving workloads.
+//
+// -cpuprofile and -memprofile write pprof profiles; they are flushed on
+// every exit path, including fail() aborts and a -timeout partial exit,
+// so a run cut short by its deadline still yields a readable profile.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"ghrpsim/internal/core"
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/obs"
+	"ghrpsim/internal/prof"
 	"ghrpsim/internal/resultcache"
 	"ghrpsim/internal/sim"
 	"ghrpsim/internal/workload"
@@ -56,8 +62,15 @@ func main() {
 		stallTO  = flag.Duration("stall-timeout", 0, "fail a task making no progress for this long (0 = none)")
 		retries  = flag.Int("retries", sim.DefaultMaxRetries, "retries per task for transient failures (0 = none)")
 		keepOn   = flag.Bool("keep-going", false, "complete the suite past failing cells; figures cover the surviving workloads")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on every exit path)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	fail(err)
+	profStop = stopProf
+	defer stopProf()
 	// "all" covers the paper artifacts; headroom and extended are
 	// explicit extras (run with -run headroom / -run extended).
 
@@ -117,7 +130,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			fmt.Fprint(os.Stderr, m.Stats.Render())
 			fmt.Fprintln(os.Stderr, "experiments: run incomplete; partial results above")
-			os.Exit(1)
+			exit(1)
 		}
 		fail(err)
 		if *progress {
@@ -247,8 +260,18 @@ func main() {
 	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
 	if hadFailures {
 		fmt.Fprintln(os.Stderr, "experiments: some workloads failed; results cover the survivors")
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// profStop flushes the pprof profiles; exit routes every abnormal
+// termination through it so profiles survive fail() and -timeout exits
+// (os.Exit skips deferred calls).
+var profStop = func() {}
+
+func exit(code int) {
+	profStop()
+	os.Exit(code)
 }
 
 func renderImprovements(m *sim.Measurements, st sim.Structure) string {
@@ -267,6 +290,6 @@ func renderImprovements(m *sim.Measurements, st sim.Structure) string {
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }

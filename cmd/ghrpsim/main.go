@@ -11,10 +11,13 @@
 //	ghrpsim [-workload NAME | -trace FILE] [-policy ghrp] [-instrs N]
 //	        [-icache-kb 64] [-ways 8] [-block 64] [-btb-entries 4096] [-btb-ways 4]
 //	        [-heatmap] [-progress] [-cache-dir DIR] [-timeout d] [-task-timeout d]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // -timeout bounds the whole invocation and -task-timeout the replay
 // itself (counting pre-pass included); an expired deadline exits
-// nonzero with an explanatory error instead of hanging.
+// nonzero with an explanatory error instead of hanging. -cpuprofile
+// and -memprofile write pprof profiles, flushed on every exit path
+// including deadline aborts.
 //
 // -cache-dir attaches the on-disk result cache shared with
 // cmd/experiments: a repeated invocation of the same (workload, policy,
@@ -36,6 +39,7 @@ import (
 	"ghrpsim/internal/analysis"
 	"ghrpsim/internal/frontend"
 	"ghrpsim/internal/obs"
+	"ghrpsim/internal/prof"
 	"ghrpsim/internal/resultcache"
 	"ghrpsim/internal/stats"
 	"ghrpsim/internal/trace"
@@ -60,8 +64,15 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (empty = no caching)")
 		timeout    = flag.Duration("timeout", 0, "overall run deadline (0 = none)")
 		taskTO     = flag.Duration("task-timeout", 0, "replay deadline, counting pre-pass included (0 = none)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on every exit path)")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	fail(err)
+	profStop = stopProf
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -246,9 +257,19 @@ func causeOf(ctx context.Context, err error) error {
 	return err
 }
 
+// profStop flushes the pprof profiles; exit routes every abnormal
+// termination through it so profiles survive fail() aborts (os.Exit
+// skips deferred calls).
+var profStop = func() {}
+
+func exit(code int) {
+	profStop()
+	os.Exit(code)
+}
+
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghrpsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }

@@ -110,6 +110,13 @@ func SimulateProgramStream(cfg Config, kind PolicyKind, prog *Program, seed, tar
 	return frontend.SimulateProgramStream(cfg, kind, prog, seed, target, warmupLimit, opts)
 }
 
+// SimulateFanOut executes a program once and replays it under every
+// given policy in lockstep; each Result is bit-identical to the
+// corresponding SimulateProgramStream call, at one execution's cost.
+func SimulateFanOut(cfg Config, kinds []PolicyKind, prog *Program, seed, target, warmupLimit uint64, opts StreamOptions) ([]Result, error) {
+	return frontend.SimulateFanOut(cfg, kinds, prog, seed, target, warmupLimit, opts)
+}
+
 // CountProgram streams a program through a fetch reconstructor without
 // buffering, returning total instruction and record counts.
 func CountProgram(cfg Config, prog *Program, seed, target uint64, opts StreamOptions) (instrs, records uint64, err error) {

@@ -36,30 +36,83 @@ func (r Result) BTBMPKI() float64 { return r.BTB.MPKI(r.CountedInstrs) }
 // BranchMPKI is conditional mispredictions per 1000 counted instructions.
 func (r Result) BranchMPKI() float64 { return r.Branch.MPKI(r.CountedInstrs) }
 
-// Engine is the trace-driven front-end simulator.
-type Engine struct {
+// The simulator is split along the policy axis so N policies can replay
+// one stream in lockstep (see FanOut): front holds everything whose
+// evolution is independent of the replacement policy — the direction
+// predictor, RAS, indirect predictor, fetch reconstruction, fetch-buffer
+// coalescing, wrong-path decisions, and the instruction/warm-up
+// accounting — while lane holds the per-policy structures the paper
+// compares: the I-cache, the BTB, and (for GHRP) their shared predictor.
+// None of the front's components observe cache or BTB state, which is
+// what makes driving N lanes from one front bit-identical to N
+// independent engines: each lane sees exactly the access, injection and
+// warm-up sequence it would have derived on its own.
+
+// blockAccess is one pending I-cache access of the current record's
+// fetch group: the block and the PC the access is attributed to.
+type blockAccess struct {
+	block uint64
+	pc    uint64
+}
+
+// front is the policy-independent half of the simulator.
+type front struct {
 	cfg     Config
-	kind    PolicyKind
-	icache  *cache.Cache
-	ibtb    *btb.BTB
-	ghrp    *core.ICachePolicy // non-nil only for PolicyGHRP
 	bpred   *perceptron.Predictor
 	ras     *RAS
 	ind     *indirect.Predictor
 	fetcher *trace.Fetcher
 
-	blockShift   uint
-	instrShift   uint
-	warmupLimit  uint64
-	warm         bool // true while warming up
-	instrs       uint64
-	counted      uint64
-	records      uint64
-	pendingWrong []uint64 // scratch for wrong-path injection
-	lastBlock    uint64   // fetch buffer: last I-cache line touched
-	haveLast     bool
-	prefetched   map[uint64]struct{} // prefetched blocks not yet demanded
-	prefStats    PrefetchStats
+	blockShift  uint
+	instrShift  uint
+	warmupLimit uint64
+	warm        bool // true while warming up
+	instrs      uint64
+	counted     uint64
+	records     uint64
+	lastBlock   uint64 // fetch buffer: last I-cache line touched
+	haveLast    bool
+
+	spans       []trace.BlockSpan // scratch: current record's fetch blocks
+	accesses    []blockAccess     // scratch: coalesced I-cache accesses
+	wrongBlocks []uint64          // scratch: wrong-path injection blocks
+}
+
+func newFront(cfg Config, warmupLimit uint64) (*front, error) {
+	f := &front{cfg: cfg, warmupLimit: warmupLimit}
+	f.blockShift = shiftOf(uint64(cfg.ICache.BlockBytes))
+	f.instrShift = shiftOf(cfg.InstrBytes)
+	var err error
+	f.bpred, err = perceptron.New(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	f.fetcher, err = trace.NewFetcher(cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
+	if err != nil {
+		return nil, err
+	}
+	f.ras = NewRAS(32)
+	f.ind, err = indirect.New(indirect.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if warmupLimit > 0 {
+		f.warm = true
+	}
+	return f, nil
+}
+
+// lane is the per-policy half of the simulator: one I-cache and BTB
+// replaying under one replacement policy.
+type lane struct {
+	kind        PolicyKind
+	icache      *cache.Cache
+	ibtb        *btb.BTB
+	ghrp        *core.ICachePolicy // non-nil only for PolicyGHRP
+	pref        prefetchSet        // nil unless NextLinePrefetch
+	prefStats   PrefetchStats
+	blockShift  uint
+	recoverHist bool // WrongPathInject: restore speculative history
 }
 
 // PrefetchStats counts next-line prefetcher activity.
@@ -76,6 +129,98 @@ func (s PrefetchStats) Coverage() float64 {
 	return float64(s.Useful) / float64(s.Issued)
 }
 
+func newLane(cfg Config, kind PolicyKind, warm bool) (*lane, error) {
+	if kind >= numPolicies {
+		return nil, fmt.Errorf("frontend: invalid policy kind %d", kind)
+	}
+	l := &lane{kind: kind, blockShift: shiftOf(uint64(cfg.ICache.BlockBytes))}
+	l.recoverHist = cfg.WrongPath == WrongPathInject
+	icPolicy, err := l.makeICachePolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	l.icache, err = cache.New(cfg.ICache.Sets(), cfg.ICache.Ways, icPolicy)
+	if err != nil {
+		return nil, err
+	}
+	btbPolicy, err := l.makeBTBPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	l.ibtb, err = btb.New(cfg.BTB.Sets(), cfg.BTB.Ways, cfg.InstrBytes, btbPolicy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NextLinePrefetch {
+		l.pref = newPrefetchFilter()
+	}
+	if warm {
+		l.icache.SetWarmup(true)
+		l.ibtb.SetWarmup(true)
+	}
+	return l, nil
+}
+
+func (l *lane) makeICachePolicy(cfg Config) (cache.Policy, error) {
+	switch l.kind {
+	case PolicyLRU:
+		return policies.NewLRU(), nil
+	case PolicyRandom:
+		return policies.NewRandom(cfg.RandomSeed), nil
+	case PolicyFIFO:
+		return policies.NewFIFO(), nil
+	case PolicySRRIP:
+		return policies.NewSRRIP(), nil
+	case PolicySDBP:
+		return policies.NewSDBPConfig(cfg.SDBP), nil
+	case PolicySHiP:
+		return policies.NewSHiP(), nil
+	case PolicyDIP:
+		return policies.NewDIP(), nil
+	case PolicyGHRP:
+		p, err := core.NewICachePolicy(cfg.GHRP)
+		if err != nil {
+			return nil, err
+		}
+		l.ghrp = p
+		return p, nil
+	default:
+		return nil, fmt.Errorf("frontend: unhandled policy %v", l.kind)
+	}
+}
+
+func (l *lane) makeBTBPolicy(cfg Config) (cache.Policy, error) {
+	switch l.kind {
+	case PolicyLRU:
+		return policies.NewLRU(), nil
+	case PolicyRandom:
+		return policies.NewRandom(cfg.RandomSeed + 1), nil
+	case PolicyFIFO:
+		return policies.NewFIFO(), nil
+	case PolicySRRIP:
+		return policies.NewSRRIP(), nil
+	case PolicySDBP:
+		return policies.NewSDBPConfig(cfg.SDBP), nil
+	case PolicySHiP:
+		return policies.NewSHiP(), nil
+	case PolicyDIP:
+		return policies.NewDIP(), nil
+	case PolicyGHRP:
+		// The BTB shares the I-cache's predictor and metadata (§III-E).
+		return btb.NewGHRPPolicy(l.ghrp, uint64(cfg.ICache.BlockBytes))
+	default:
+		return nil, fmt.Errorf("frontend: unhandled policy %v", l.kind)
+	}
+}
+
+// Engine is the trace-driven front-end simulator for one policy: a front
+// driving a single lane.
+type Engine struct {
+	front *front
+	lane  *lane
+	lanes []*lane // the single lane, pre-sliced for stepRecord
+}
+
 // NewEngine builds a simulator for the given configuration and
 // replacement policy (applied to both the I-cache and BTB). warmupLimit
 // is the number of leading instructions excluded from statistics; use
@@ -84,51 +229,15 @@ func NewEngine(cfg Config, kind PolicyKind, warmupLimit uint64) (*Engine, error)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if kind >= numPolicies {
-		return nil, fmt.Errorf("frontend: invalid policy kind %d", kind)
-	}
-	e := &Engine{cfg: cfg, kind: kind, warmupLimit: warmupLimit}
-	e.blockShift = shiftOf(uint64(cfg.ICache.BlockBytes))
-	e.instrShift = shiftOf(cfg.InstrBytes)
-
-	icPolicy, err := e.makeICachePolicy()
+	f, err := newFront(cfg, warmupLimit)
 	if err != nil {
 		return nil, err
 	}
-	e.icache, err = cache.New(cfg.ICache.Sets(), cfg.ICache.Ways, icPolicy)
+	l, err := newLane(cfg, kind, f.warm)
 	if err != nil {
 		return nil, err
 	}
-	btbPolicy, err := e.makeBTBPolicy()
-	if err != nil {
-		return nil, err
-	}
-	e.ibtb, err = btb.New(cfg.BTB.Sets(), cfg.BTB.Ways, cfg.InstrBytes, btbPolicy)
-	if err != nil {
-		return nil, err
-	}
-	e.bpred, err = perceptron.New(cfg.Branch)
-	if err != nil {
-		return nil, err
-	}
-	e.fetcher, err = trace.NewFetcher(cfg.InstrBytes, uint64(cfg.ICache.BlockBytes))
-	if err != nil {
-		return nil, err
-	}
-	e.ras = NewRAS(32)
-	e.ind, err = indirect.New(indirect.Config{})
-	if err != nil {
-		return nil, err
-	}
-	if cfg.NextLinePrefetch {
-		e.prefetched = make(map[uint64]struct{}, 1024)
-	}
-	if warmupLimit > 0 {
-		e.warm = true
-		e.icache.SetWarmup(true)
-		e.ibtb.SetWarmup(true)
-	}
-	return e, nil
+	return &Engine{front: f, lane: l, lanes: []*lane{l}}, nil
 }
 
 // WarmupFor derives the warm-up instruction count for a trace of the
@@ -141,63 +250,11 @@ func (c Config) WarmupFor(totalInstructions uint64) uint64 {
 	return w
 }
 
-func (e *Engine) makeICachePolicy() (cache.Policy, error) {
-	switch e.kind {
-	case PolicyLRU:
-		return policies.NewLRU(), nil
-	case PolicyRandom:
-		return policies.NewRandom(e.cfg.RandomSeed), nil
-	case PolicyFIFO:
-		return policies.NewFIFO(), nil
-	case PolicySRRIP:
-		return policies.NewSRRIP(), nil
-	case PolicySDBP:
-		return policies.NewSDBPConfig(e.cfg.SDBP), nil
-	case PolicySHiP:
-		return policies.NewSHiP(), nil
-	case PolicyDIP:
-		return policies.NewDIP(), nil
-	case PolicyGHRP:
-		p, err := core.NewICachePolicy(e.cfg.GHRP)
-		if err != nil {
-			return nil, err
-		}
-		e.ghrp = p
-		return p, nil
-	default:
-		return nil, fmt.Errorf("frontend: unhandled policy %v", e.kind)
-	}
-}
-
-func (e *Engine) makeBTBPolicy() (cache.Policy, error) {
-	switch e.kind {
-	case PolicyLRU:
-		return policies.NewLRU(), nil
-	case PolicyRandom:
-		return policies.NewRandom(e.cfg.RandomSeed + 1), nil
-	case PolicyFIFO:
-		return policies.NewFIFO(), nil
-	case PolicySRRIP:
-		return policies.NewSRRIP(), nil
-	case PolicySDBP:
-		return policies.NewSDBPConfig(e.cfg.SDBP), nil
-	case PolicySHiP:
-		return policies.NewSHiP(), nil
-	case PolicyDIP:
-		return policies.NewDIP(), nil
-	case PolicyGHRP:
-		// The BTB shares the I-cache's predictor and metadata (§III-E).
-		return btb.NewGHRPPolicy(e.ghrp, uint64(e.cfg.ICache.BlockBytes))
-	default:
-		return nil, fmt.Errorf("frontend: unhandled policy %v", e.kind)
-	}
-}
-
 // ICache exposes the simulated I-cache (for efficiency heat maps).
-func (e *Engine) ICache() *cache.Cache { return e.icache }
+func (e *Engine) ICache() *cache.Cache { return e.lane.icache }
 
 // BTB exposes the simulated BTB.
-func (e *Engine) BTB() *btb.BTB { return e.ibtb }
+func (e *Engine) BTB() *btb.BTB { return e.lane.ibtb }
 
 // GHRP returns the GHRP I-cache policy, or nil for other policies (and
 // on a nil receiver).
@@ -205,78 +262,112 @@ func (e *Engine) GHRP() *core.ICachePolicy {
 	if e == nil { // callers that load a cached Result have no engine
 		return nil
 	}
-	return e.ghrp
+	return e.lane.ghrp
 }
 
 // BranchPredictor exposes the direction predictor.
-func (e *Engine) BranchPredictor() *perceptron.Predictor { return e.bpred }
+func (e *Engine) BranchPredictor() *perceptron.Predictor { return e.front.bpred }
 
 // ReturnStack exposes the return address stack.
-func (e *Engine) ReturnStack() *RAS { return e.ras }
+func (e *Engine) ReturnStack() *RAS { return e.front.ras }
 
 // IndirectPredictor exposes the indirect target predictor.
-func (e *Engine) IndirectPredictor() *indirect.Predictor { return e.ind }
+func (e *Engine) IndirectPredictor() *indirect.Predictor { return e.front.ind }
 
 // Instructions returns total instructions processed so far.
-func (e *Engine) Instructions() uint64 { return e.instrs }
+func (e *Engine) Instructions() uint64 { return e.front.instrs }
 
 // Process consumes one branch record: reconstruct the fetch group,
 // access the I-cache per block, predict and train the direction
 // predictor, access the BTB for taken branches, and manage speculative
 // history.
 func (e *Engine) Process(r trace.Record) {
-	e.records++
-	preWarm := e.warm
+	stepRecord(e.front, e.lanes, r)
+}
+
+// stepRecord advances the front and every lane by one branch record. The
+// single-policy Engine and the multi-policy FanOut both funnel through
+// it, so the two paths cannot drift apart.
+func stepRecord(f *front, lanes []*lane, r trace.Record) {
+	f.records++
+	preWarm := f.warm
 
 	// Fetch-group reconstruction: each distinct block is one I-cache
 	// access whose PC is the first instruction fetched in that block.
-	startPC := e.fetcher.PC()
+	// Fetch-buffer coalescing drops consecutive fetch groups from the
+	// same cache line (sequential fall-through past a not-taken branch,
+	// or a short taken branch within the line): they read the fetch
+	// buffer, not the I-cache. Without this, dense basic blocks would
+	// count several I-cache accesses per line and streaming lines would
+	// look "reused". The coalesced access list is policy-independent, so
+	// it is computed once and applied to every lane.
+	startPC := f.fetcher.PC()
+	var n uint64
+	f.spans, n = f.fetcher.NextSpans(r, f.spans[:0])
+	f.accesses = f.accesses[:0]
 	first := true
-	n := e.fetcher.Next(r, func(block uint64, _ int) {
-		// Fetch-buffer coalescing: consecutive fetch groups from the
-		// same cache line (sequential fall-through past a not-taken
-		// branch, or a short taken branch within the line) read the
-		// fetch buffer, not the I-cache. Without this, dense basic
-		// blocks would count several I-cache accesses per line and
-		// streaming lines would look "reused".
-		if e.haveLast && block == e.lastBlock {
-			return
+	for i := range f.spans {
+		block := f.spans[i].Block
+		if f.haveLast && block == f.lastBlock {
+			continue
 		}
-		e.lastBlock, e.haveLast = block, true
-		pc := block << e.blockShift
+		f.lastBlock, f.haveLast = block, true
+		pc := block << f.blockShift
 		if first {
 			// A mid-block fetch begins at the branch target, not the
 			// block base; signatures must see the real entry point.
-			if startPC != 0 && startPC>>e.blockShift == block {
+			if startPC != 0 && startPC>>f.blockShift == block {
 				pc = startPC
 			} else if startPC == 0 {
 				pc = r.PC
 			}
 			first = false
 		}
-		e.access(block, pc)
-	})
-	e.instrs += n
-	if !e.warm {
-		e.counted += n
+		f.accesses = append(f.accesses, blockAccess{block: block, pc: pc})
+	}
+	for _, l := range lanes {
+		for _, a := range f.accesses {
+			l.access(a.block, a.pc, f.warm)
+		}
+	}
+	f.instrs += n
+	if !f.warm {
+		f.counted += n
 	}
 
 	// Direction prediction for conditional branches; other transfers
 	// contribute to path history only.
 	if r.Type.Conditional() {
-		o := e.bpred.Predict(r.PC)
+		o := f.bpred.Predict(r.PC)
 		mispredicted := o.Taken != r.Taken
-		e.bpred.Update(o, r.PC, r.Taken)
-		if mispredicted && e.cfg.WrongPath != WrongPathOff {
-			e.injectWrongPath(r)
+		f.bpred.Update(o, r.PC, r.Taken)
+		if mispredicted && f.cfg.WrongPath != WrongPathOff {
+			// Wrong-path fetch after a misprediction (§III-F): a few
+			// sequential blocks from the not-executed path. The block
+			// list is policy-independent; each lane takes the pollution
+			// and (in recovery mode) restores its speculative history.
+			wrongPC := r.Target
+			if r.Taken {
+				wrongPC = r.FallThrough(f.cfg.InstrBytes)
+			}
+			f.wrongBlocks = f.wrongBlocks[:0]
+			base := wrongPC >> f.blockShift
+			for i := 0; i < f.cfg.WrongPathDepth; i++ {
+				f.wrongBlocks = append(f.wrongBlocks, base+uint64(i))
+			}
+			for _, l := range lanes {
+				l.injectWrongPath(f.wrongBlocks, wrongPC, f.warm)
+			}
 		}
 	} else {
-		e.bpred.PushUnconditional(r.PC)
+		f.bpred.PushUnconditional(r.PC)
 	}
 
 	// BTB access for taken branches that use it.
 	if r.Taken && r.Type.UsesBTB() {
-		e.ibtb.Access(r.PC, r.Target)
+		for _, l := range lanes {
+			l.ibtb.Access(r.PC, r.Target)
+		}
 	}
 
 	// Return address stack and indirect target prediction: calls push
@@ -285,23 +376,25 @@ func (e *Engine) Process(r trace.Record) {
 	// §VI future-work interaction).
 	switch r.Type {
 	case trace.DirectCall, trace.IndirectCall:
-		e.ras.Push(r.FallThrough(e.cfg.InstrBytes))
+		f.ras.Push(r.FallThrough(f.cfg.InstrBytes))
 	case trace.Return:
-		e.ras.Pop(r.Target)
+		f.ras.Pop(r.Target)
 	}
 	if r.Type == trace.IndirectCall || r.Type == trace.IndirectJump {
-		o := e.ind.Predict(r.PC)
-		e.ind.Update(o, r.PC, r.Target)
+		o := f.ind.Predict(r.PC)
+		f.ind.Update(o, r.PC, r.Target)
 	}
 
 	// Warm-up boundary: flip statistics on once crossed.
-	if preWarm && e.instrs >= e.warmupLimit {
-		e.warm = false
-		e.icache.SetWarmup(false)
-		e.ibtb.SetWarmup(false)
-		e.bpred.ResetStats()
-		e.ras.ResetStats()
-		e.ind.ResetStats()
+	if preWarm && f.instrs >= f.warmupLimit {
+		f.warm = false
+		for _, l := range lanes {
+			l.icache.SetWarmup(false)
+			l.ibtb.SetWarmup(false)
+		}
+		f.bpred.ResetStats()
+		f.ras.ResetStats()
+		f.ind.ResetStats()
 	}
 }
 
@@ -310,77 +403,60 @@ func (e *Engine) Process(r trace.Record) {
 // simulation). With next-line prefetching enabled, a demand miss also
 // installs the following block; prefetch fills do not count as demand
 // traffic.
-func (e *Engine) access(block, pc uint64) {
-	hit, _ := e.icache.AccessEx(cache.Access{Block: block, PC: pc})
-	if e.ghrp != nil {
-		e.ghrp.History().Commit(pc)
+func (l *lane) access(block, pc uint64, warm bool) {
+	hit, _ := l.icache.AccessEx(cache.Access{Block: block, PC: pc})
+	if l.ghrp != nil {
+		l.ghrp.History().Commit(pc)
 	}
-	if e.prefetched != nil {
-		if hit {
-			if _, ok := e.prefetched[block]; ok {
-				delete(e.prefetched, block)
-				if !e.warm {
-					e.prefStats.Useful++
+	if l.pref == nil {
+		return
+	}
+	if hit {
+		if l.pref.take(block) && !warm {
+			l.prefStats.Useful++
+		}
+	} else {
+		next := block + 1
+		if !l.icache.Lookup(next) {
+			if !warm {
+				l.icache.SetWarmup(true)
+			}
+			_, bypassed := l.icache.AccessEx(cache.Access{Block: next, PC: next << l.blockShift})
+			if !warm {
+				l.icache.SetWarmup(false)
+				if !bypassed {
+					l.prefStats.Issued++
 				}
 			}
-		} else {
-			next := block + 1
-			if !e.icache.Lookup(next) {
-				if !e.warm {
-					e.icache.SetWarmup(true)
-				}
-				_, bypassed := e.icache.AccessEx(cache.Access{Block: next, PC: next << e.blockShift})
-				if !e.warm {
-					e.icache.SetWarmup(false)
-					if !bypassed {
-						e.prefStats.Issued++
-					}
-				}
-				if !bypassed {
-					// Bound the pending set; stale entries only affect
-					// the usefulness statistic, not simulation state.
-					if len(e.prefetched) > 1<<16 {
-						clear(e.prefetched)
-					}
-					e.prefetched[next] = struct{}{}
-				}
+			if !bypassed {
+				l.pref.add(next)
 			}
 		}
 	}
 }
 
-// injectWrongPath models wrong-path fetch after a conditional
-// misprediction: a few sequential blocks from the not-executed path are
-// fetched, polluting the I-cache and GHRP's speculative history; then
-// the speculative history is restored from the retired history (§III-F),
-// unless recovery is disabled for the ablation.
-func (e *Engine) injectWrongPath(r trace.Record) {
-	wrongPC := r.Target
-	if r.Taken {
-		wrongPC = r.FallThrough(e.cfg.InstrBytes)
+// injectWrongPath fetches the given wrong-path blocks into this lane's
+// I-cache, polluting it and GHRP's speculative history; then the
+// speculative history is restored from the retired history (§III-F),
+// unless recovery is disabled for the ablation. Wrong-path accesses
+// change cache and history state but are not demand misses; they are
+// excluded from statistics.
+func (l *lane) injectWrongPath(blocks []uint64, wrongPC uint64, warm bool) {
+	if !warm {
+		l.icache.SetWarmup(true)
 	}
-	e.pendingWrong = e.pendingWrong[:0]
-	base := wrongPC >> e.blockShift
-	for i := 0; i < e.cfg.WrongPathDepth; i++ {
-		e.pendingWrong = append(e.pendingWrong, base+uint64(i))
-	}
-	// Wrong-path accesses change cache and history state but are not
-	// demand misses; exclude them from statistics.
-	if !e.warm {
-		e.icache.SetWarmup(true)
-	}
-	for i, b := range e.pendingWrong {
-		pc := b << e.blockShift
+	for i, b := range blocks {
+		pc := b << l.blockShift
 		if i == 0 {
 			pc = wrongPC
 		}
-		e.icache.Access(cache.Access{Block: b, PC: pc})
+		l.icache.Access(cache.Access{Block: b, PC: pc})
 	}
-	if !e.warm {
-		e.icache.SetWarmup(false)
+	if !warm {
+		l.icache.SetWarmup(false)
 	}
-	if e.ghrp != nil && e.cfg.WrongPath == WrongPathInject {
-		e.ghrp.History().Recover()
+	if l.ghrp != nil && l.recoverHist {
+		l.ghrp.History().Recover()
 	}
 }
 
@@ -394,18 +470,23 @@ func (e *Engine) Run(recs []trace.Record) Result {
 
 // Result snapshots the current statistics.
 func (e *Engine) Result() Result {
-	counted := e.counted
+	return makeResult(e.front, e.lane)
+}
+
+// makeResult assembles one lane's Result from the shared front counters
+// and the lane's structures.
+func makeResult(f *front, l *lane) Result {
 	return Result{
-		Policy:            e.kind,
-		TotalInstructions: e.instrs,
-		CountedInstrs:     counted,
-		Records:           e.records,
-		ICache:            e.icache.Stats(),
-		BTB:               e.ibtb.Stats(),
-		Branch:            e.bpred.Stats(),
-		RAS:               e.ras.Stats(),
-		Indirect:          e.ind.Stats(),
-		Prefetch:          e.prefStats,
+		Policy:            l.kind,
+		TotalInstructions: f.instrs,
+		CountedInstrs:     f.counted,
+		Records:           f.records,
+		ICache:            l.icache.Stats(),
+		BTB:               l.ibtb.Stats(),
+		Branch:            f.bpred.Stats(),
+		RAS:               f.ras.Stats(),
+		Indirect:          f.ind.Stats(),
+		Prefetch:          l.prefStats,
 	}
 }
 

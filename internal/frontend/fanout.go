@@ -1,0 +1,104 @@
+package frontend
+
+import (
+	"fmt"
+
+	"ghrpsim/internal/trace"
+	"ghrpsim/internal/workload"
+)
+
+// FanOut replays one record stream through N policy lanes in lockstep:
+// the policy-independent front (direction predictor, RAS, indirect
+// predictor, fetch reconstruction, warm-up accounting) is evaluated once
+// per record and its decisions — the coalesced I-cache access list, the
+// wrong-path block list, the BTB probe — are applied to every lane.
+//
+// Because no front component observes cache or BTB state, each lane sees
+// exactly the sequence of accesses it would derive as a standalone
+// Engine, and lanes never observe each other; the fused replay is
+// therefore bit-identical to N independent per-policy replays of the
+// same stream. TestFanOutMatchesPerPolicy pins this contract.
+type FanOut struct {
+	front *front
+	lanes []*lane
+}
+
+// NewFanOut builds a fused simulator driving one lane per element of
+// kinds (duplicates allowed — each gets an independent lane). The
+// warm-up limit applies to all lanes, exactly as it would to N separate
+// engines built with the same limit.
+func NewFanOut(cfg Config, kinds []PolicyKind, warmupLimit uint64) (*FanOut, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("frontend: fan-out needs at least one policy")
+	}
+	f, err := newFront(cfg, warmupLimit)
+	if err != nil {
+		return nil, err
+	}
+	lanes := make([]*lane, len(kinds))
+	for i, kind := range kinds {
+		lanes[i], err = newLane(cfg, kind, f.warm)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &FanOut{front: f, lanes: lanes}, nil
+}
+
+// Process consumes one branch record, advancing every lane.
+func (fo *FanOut) Process(r trace.Record) {
+	stepRecord(fo.front, fo.lanes, r)
+}
+
+// Instructions returns total instructions processed so far.
+func (fo *FanOut) Instructions() uint64 { return fo.front.instrs }
+
+// Results snapshots the per-lane statistics, in the order the policy
+// kinds were given to NewFanOut.
+func (fo *FanOut) Results() []Result {
+	out := make([]Result, len(fo.lanes))
+	for i, l := range fo.lanes {
+		out[i] = makeResult(fo.front, l)
+	}
+	return out
+}
+
+// StreamProgram re-emits a program's deterministic record stream
+// straight into the fan-out, with no intermediate record buffer; the
+// replay cost is one program interpretation regardless of lane count.
+func (fo *FanOut) StreamProgram(prog *workload.Program, seed, target uint64, opts StreamOptions) ([]Result, error) {
+	every := opts.ProgressEvery
+	if every == 0 {
+		every = DefaultProgressEvery
+	}
+	var n uint64
+	_, err := workload.Emit(prog, seed, target, func(r trace.Record) error {
+		fo.Process(r)
+		if opts.Progress != nil {
+			n++
+			if n%every == 0 {
+				return opts.Progress(n, fo.front.instrs)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fo.Results(), nil
+}
+
+// SimulateFanOut executes a workload program once and replays it under
+// every given policy in lockstep. It returns one Result per kind, each
+// bit-identical to what SimulateProgramStream would produce for that
+// kind alone with the same warm-up limit.
+func SimulateFanOut(cfg Config, kinds []PolicyKind, prog *workload.Program, seed, target, warmupLimit uint64, opts StreamOptions) ([]Result, error) {
+	fo, err := NewFanOut(cfg, kinds, warmupLimit)
+	if err != nil {
+		return nil, err
+	}
+	return fo.StreamProgram(prog, seed, target, opts)
+}

@@ -1,0 +1,116 @@
+package frontend
+
+import (
+	"testing"
+
+	"ghrpsim/internal/workload"
+)
+
+// allPolicies lists every implemented policy kind, ablations included.
+func allPolicies() []PolicyKind {
+	kinds := make([]PolicyKind, 0, numPolicies)
+	for k := PolicyKind(0); k < numPolicies; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+func fanOutProgram(t *testing.T) *workload.Program {
+	t.Helper()
+	prog, err := workload.Generate(testProfile(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestFanOutMatchesPerPolicy is the fused path's bit-identity contract:
+// for every policy, wrong-path mode, and prefetch setting, one fused
+// replay must produce exactly the Result that a standalone per-policy
+// replay of the same stream produces.
+func TestFanOutMatchesPerPolicy(t *testing.T) {
+	prog := fanOutProgram(t)
+	const target = 150_000
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"inject", func(c *Config) { c.WrongPath = WrongPathInject }},
+		{"norecover", func(c *Config) { c.WrongPath = WrongPathNoRecover }},
+		{"off", func(c *Config) { c.WrongPath = WrongPathOff }},
+		{"prefetch", func(c *Config) { c.NextLinePrefetch = true }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := smallConfig()
+			v.mutate(&cfg)
+			total, _, err := CountProgram(cfg, prog, 1, target, StreamOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm := cfg.WarmupFor(total)
+			kinds := allPolicies()
+			fused, err := SimulateFanOut(cfg, kinds, prog, 1, target, warm, StreamOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fused) != len(kinds) {
+				t.Fatalf("fused results: got %d, want %d", len(fused), len(kinds))
+			}
+			for i, kind := range kinds {
+				solo, err := SimulateProgramStream(cfg, kind, prog, 1, target, warm, StreamOptions{})
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				if fused[i] != solo {
+					t.Errorf("%v: fused result diverges from per-policy replay:\n fused: %+v\n  solo: %+v",
+						kind, fused[i], solo)
+				}
+			}
+		})
+	}
+}
+
+// TestFanOutDuplicateKinds checks that duplicate lanes are independent
+// and identical: two GHRP lanes in one fan-out must match each other and
+// the standalone engine.
+func TestFanOutDuplicateKinds(t *testing.T) {
+	prog := fanOutProgram(t)
+	cfg := smallConfig()
+	const target = 80_000
+	total, _, err := CountProgram(cfg, prog, 1, target, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cfg.WarmupFor(total)
+	fused, err := SimulateFanOut(cfg, []PolicyKind{PolicyGHRP, PolicyLRU, PolicyGHRP}, prog, 1, target, warm, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused[0] != fused[2] {
+		t.Errorf("duplicate GHRP lanes diverge:\n lane0: %+v\n lane2: %+v", fused[0], fused[2])
+	}
+	solo, err := SimulateProgramStream(cfg, PolicyGHRP, prog, 1, target, warm, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused[0] != solo {
+		t.Errorf("fused GHRP diverges from standalone engine:\n fused: %+v\n  solo: %+v", fused[0], solo)
+	}
+}
+
+// TestFanOutRejectsBadInputs covers the constructor's error paths.
+func TestFanOutRejectsBadInputs(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := NewFanOut(cfg, nil, 0); err == nil {
+		t.Error("empty kinds accepted")
+	}
+	if _, err := NewFanOut(cfg, []PolicyKind{numPolicies}, 0); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	bad := cfg
+	bad.ICache.SizeBytes = 0
+	if _, err := NewFanOut(bad, []PolicyKind{PolicyLRU}, 0); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -94,7 +94,7 @@ func (e *Engine) StreamProgram(prog *workload.Program, seed, target uint64, opts
 		if opts.Progress != nil {
 			n++
 			if n%every == 0 {
-				return opts.Progress(n, e.instrs)
+				return opts.Progress(n, e.front.instrs)
 			}
 		}
 		return nil

@@ -37,9 +37,10 @@ const (
 	// simulated; Records and Instructions carry the cached result's
 	// counters.
 	PolicyCached
-	// TaskRetry is emitted when a (workload, policy) task failed with a
+	// TaskRetry is emitted when a workload's fused task failed with a
 	// transient error and is about to be retried; Attempt carries the
 	// retry number (1 for the first retry) and Err the transient error.
+	// Cells the first attempt completed are not re-simulated.
 	TaskRetry
 )
 

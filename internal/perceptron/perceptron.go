@@ -49,11 +49,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// MaxTables bounds how many weight tables a predictor may have; it
+// exists so Outcome can carry the per-table indices in a fixed-size
+// array instead of a heap slice (Predict runs once per conditional
+// branch — an allocation there dominates the replay's heap traffic).
+const MaxTables = 16
+
 // Validate rejects configurations that cannot be built.
 func (c Config) Validate() error {
 	c = c.withDefaults()
 	if c.TableBits < 4 || c.TableBits > 22 {
 		return fmt.Errorf("perceptron: TableBits %d out of range [4,22]", c.TableBits)
+	}
+	if len(c.HistoryLengths) > MaxTables {
+		return fmt.Errorf("perceptron: %d tables exceeds MaxTables %d", len(c.HistoryLengths), MaxTables)
 	}
 	for _, h := range c.HistoryLengths {
 		if h < 0 || h > 64 {
@@ -117,11 +126,13 @@ func New(cfg Config) (*Predictor, error) {
 	return p, nil
 }
 
-// Outcome carries one prediction's working state from Predict to Update.
+// Outcome carries one prediction's working state from Predict to
+// Update. The indices live in a fixed-size array (bounded by
+// MaxTables) so the Predict/Update round trip is allocation-free.
 type Outcome struct {
 	Taken   bool
 	Sum     int32
-	indices []uint64
+	indices [MaxTables]uint64
 }
 
 // index hashes the PC with a history segment and the path register for
@@ -149,7 +160,7 @@ func (p *Predictor) index(t int, pc uint64) uint64 {
 
 // Predict returns the predicted direction for a conditional branch at pc.
 func (p *Predictor) Predict(pc uint64) Outcome {
-	o := Outcome{indices: make([]uint64, len(p.tables))}
+	var o Outcome
 	for t := range p.tables {
 		o.indices[t] = p.index(t, pc)
 		o.Sum += int32(p.tables[t][o.indices[t]])

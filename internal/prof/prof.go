@@ -1,0 +1,66 @@
+// Package prof wires -cpuprofile / -memprofile CLI flags to
+// runtime/pprof. It exists so both command-line tools share one
+// correct shutdown discipline: the returned stop function is
+// idempotent, so the CLIs can call it from every exit path — clean
+// return, fail() abort, -timeout partial exit — and the profile files
+// are complete in all of them. A CPU profile that is never stopped is
+// truncated and unreadable, which is exactly the case (a run cut short
+// by its deadline) a performance investigation most wants to see.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either path may be empty to disable that profile. The
+// returned stop function finishes the CPU profile and writes the heap
+// profile; it is idempotent and never nil, so callers can install it
+// unconditionally on every exit path. Heap-profile write failures are
+// reported on stderr rather than returned: by the time stop runs the
+// process is exiting and the CPU profile should still be flushed.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			// Materialize up-to-date allocation statistics before the
+			// snapshot, per the pprof.WriteHeapProfile guidance.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,62 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Both profiles must land on disk non-empty after stop, and a second
+// stop must be a no-op rather than truncating or re-writing them.
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	sizes := map[string]int64{}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+		sizes[p] = fi.Size()
+	}
+	stop() // idempotent: no panic, no rewrite
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() != sizes[p] {
+			t.Errorf("second stop changed %s: size %d -> %d (%v)", p, sizes[p], fi.Size(), err)
+		}
+	}
+}
+
+// Empty paths disable profiling entirely: stop must still be callable.
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop()
+}
+
+// An uncreatable CPU profile path must fail Start rather than silently
+// running unprofiled.
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), ""); err == nil {
+		t.Fatal("uncreatable cpu profile path did not fail")
+	}
+}

@@ -10,6 +10,14 @@
 // can be keyed by a hash of exactly those inputs and replayed from disk
 // instead of re-simulated.
 //
+// Alongside per-policy results the cache stores per-workload Counts —
+// the instruction/record totals of the counting pre-pass that derives
+// the warm-up window. Counts are policy-independent and depend on less
+// of the configuration than results do (only the instruction and block
+// geometry), so one count entry serves every policy and every cache/BTB
+// sweep variant of a workload, and a warm-cache rerun skips the
+// counting traversal entirely.
+//
 // Layout: each entry is one JSON file under dir/<hh>/<hash>.json, where
 // hash is the SHA-256 of the cell's canonical JSON encoding and hh its
 // first two hex digits (a shard level that keeps directories small on
@@ -44,7 +52,12 @@ import (
 
 // FormatVersion is the cache schema version, hashed into every key.
 // Bump it when simulation semantics or the Result layout change.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	1 — per-policy Result entries only.
+//	2 — added policy-independent Counts entries (count memoization).
+const FormatVersion = 2
 
 // Key addresses one simulation cell: a hex SHA-256 over the cell's
 // canonical JSON encoding.
@@ -67,7 +80,7 @@ type cell struct {
 // is the scaled instruction budget, not the raw scale factor, so two
 // runs whose scales yield the same budget share entries.
 func KeyFor(spec workload.Spec, cfg frontend.Config, kind frontend.PolicyKind, execSeed, target uint64) (Key, error) {
-	blob, err := json.Marshal(cell{
+	return keyOf(cell{
 		Version:  FormatVersion,
 		Profile:  spec.Profile,
 		Target:   target,
@@ -75,6 +88,46 @@ func KeyFor(spec workload.Spec, cfg frontend.Config, kind frontend.PolicyKind, e
 		Policy:   kind.String(),
 		Config:   cfg,
 	})
+}
+
+// Counts memoizes one workload's counting pre-pass: the totals that
+// derive the warm-up window (frontend.CountProgram's outputs).
+type Counts struct {
+	Instructions uint64
+	Records      uint64
+}
+
+// countCell is everything that determines a workload's Counts. Counting
+// replays the record stream through the fetch reconstructor only, so of
+// the front-end configuration just the instruction size and I-cache
+// block geometry matter — a count entry is shared by every policy and
+// every cache/BTB sweep variant.
+type countCell struct {
+	Version    int
+	Kind       string // "count": keeps the hash input disjoint from cell
+	Profile    workload.Profile
+	Target     uint64
+	ExecSeed   uint64
+	InstrBytes uint64
+	BlockBytes int
+}
+
+// CountKeyFor computes the cache key for one workload's counting
+// pre-pass under the given configuration's fetch geometry.
+func CountKeyFor(spec workload.Spec, cfg frontend.Config, execSeed, target uint64) (Key, error) {
+	return keyOf(countCell{
+		Version:    FormatVersion,
+		Kind:       "count",
+		Profile:    spec.Profile,
+		Target:     target,
+		ExecSeed:   execSeed,
+		InstrBytes: cfg.InstrBytes,
+		BlockBytes: cfg.ICache.BlockBytes,
+	})
+}
+
+func keyOf(v any) (Key, error) {
+	blob, err := json.Marshal(v)
 	if err != nil {
 		return "", fmt.Errorf("resultcache: encoding key: %w", err)
 	}
@@ -82,17 +135,20 @@ func KeyFor(spec workload.Spec, cfg frontend.Config, kind frontend.PolicyKind, e
 	return Key(hex.EncodeToString(sum[:])), nil
 }
 
-// entry is the on-disk record: the result plus enough metadata to
-// reject stale or foreign files.
-type entry struct {
+// envelope is the on-disk record: the payload plus enough metadata to
+// reject stale or foreign files. The payload field keeps the JSON name
+// "Result" for both entry kinds; the FormatVersion bump that introduced
+// count entries orphaned every file written under the old layout.
+type envelope[T any] struct {
 	Version int
 	Key     Key
-	Result  frontend.Result
+	Result  T
 }
 
 // TestHooks intercept cache I/O for fault-injection tests; the zero
 // value disables every hook. Hooks must be installed (SetTestHooks)
-// before the cache is shared across goroutines.
+// before the cache is shared across goroutines. Count entries pass
+// through the same hooks as result entries.
 type TestHooks struct {
 	// BeforeGet runs before an entry is read; a non-nil error forces a
 	// miss (a transient read failure degrades to re-simulation).
@@ -149,26 +205,37 @@ func (c *Cache) path(key Key) string {
 // <hash>.json.corrupt) so one corrupt file cannot fail every future
 // run; a stale-version entry is left for Put to overwrite.
 func (c *Cache) Get(key Key) (frontend.Result, bool) {
+	return get[frontend.Result](c, key)
+}
+
+// GetCount returns the memoized counting pre-pass for key (from
+// CountKeyFor), with Get's miss/quarantine semantics.
+func (c *Cache) GetCount(key Key) (Counts, bool) {
+	return get[Counts](c, key)
+}
+
+func get[T any](c *Cache, key Key) (T, bool) {
+	var zero T
 	if len(key) < 2 {
-		return frontend.Result{}, false
+		return zero, false
 	}
 	path := c.path(key)
 	if h := c.hooks.BeforeGet; h != nil {
 		if err := h(path); err != nil {
-			return frontend.Result{}, false
+			return zero, false
 		}
 	}
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return frontend.Result{}, false
+		return zero, false
 	}
-	var e entry
+	var e envelope[T]
 	if err := json.Unmarshal(blob, &e); err != nil || (e.Version == FormatVersion && e.Key != key) {
 		c.quarantine(path)
-		return frontend.Result{}, false
+		return zero, false
 	}
 	if e.Version != FormatVersion {
-		return frontend.Result{}, false
+		return zero, false
 	}
 	return e.Result, true
 }
@@ -189,6 +256,16 @@ func (c *Cache) quarantine(path string) {
 // path — including a panic unwinding through Put — removes the temp
 // file, so a failed write never strands droppings in the cache.
 func (c *Cache) Put(key Key, res frontend.Result) error {
+	return put(c, key, res)
+}
+
+// PutCount stores one workload's counting pre-pass under key (from
+// CountKeyFor), with Put's atomicity guarantees.
+func (c *Cache) PutCount(key Key, counts Counts) error {
+	return put(c, key, counts)
+}
+
+func put[T any](c *Cache, key Key, val T) error {
 	if len(key) < 2 {
 		return fmt.Errorf("resultcache: invalid key %q", key)
 	}
@@ -201,7 +278,7 @@ func (c *Cache) Put(key Key, res frontend.Result) error {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("resultcache: %w", err)
 	}
-	blob, err := json.MarshalIndent(entry{Version: FormatVersion, Key: key, Result: res}, "", "\t")
+	blob, err := json.MarshalIndent(envelope[T]{Version: FormatVersion, Key: key, Result: val}, "", "\t")
 	if err != nil {
 		return fmt.Errorf("resultcache: encoding entry: %w", err)
 	}
@@ -234,8 +311,8 @@ func (c *Cache) Put(key Key, res frontend.Result) error {
 	return nil
 }
 
-// Len walks the cache and counts stored entries (a maintenance helper
-// for tests and CLI reporting, not a hot path).
+// Len walks the cache and counts stored entries of both kinds (a
+// maintenance helper for tests and CLI reporting, not a hot path).
 func (c *Cache) Len() (int, error) {
 	n := 0
 	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {

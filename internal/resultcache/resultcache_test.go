@@ -121,10 +121,10 @@ func TestCorruptEntryIsMiss(t *testing.T) {
 	}
 	path := c.path(key)
 	for name, blob := range map[string][]byte{
-		"truncated": []byte(`{"Version":1,"Key":"`),
+		"truncated": []byte(`{"Version":2,"Key":"`),
 		"not-json":  []byte("hello"),
 		"stale":     []byte(`{"Version":0,"Key":"` + string(key) + `","Result":{}}`),
-		"foreign":   []byte(`{"Version":1,"Key":"0000","Result":{}}`),
+		"foreign":   []byte(`{"Version":2,"Key":"0000","Result":{}}`),
 	} {
 		if err := os.WriteFile(path, blob, 0o644); err != nil {
 			t.Fatal(err)
@@ -351,4 +351,148 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// Count entries must round-trip, key separately from result entries,
+// share the hook/quarantine machinery, and ignore configuration fields
+// that cannot affect the counting pre-pass.
+func TestCountRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := frontend.DefaultConfig()
+	key, err := CountKeyFor(testSpec(), cfg, 1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetCount(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := Counts{Instructions: 123_456, Records: 9_876}
+	if err := c.PutCount(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.GetCount(key)
+	if !ok {
+		t.Fatal("miss after PutCount")
+	}
+	if got != want {
+		t.Errorf("round trip diverged: got %+v, want %+v", got, want)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v, want 1 (count entries are entries)", n, err)
+	}
+}
+
+// A count key must differ from the result key over the same inputs, be
+// insensitive to policy-irrelevant configuration (cache size, wrong
+// path), and sensitive to the fetch geometry and stream identity.
+func TestCountKeySensitivity(t *testing.T) {
+	spec := testSpec()
+	cfg := frontend.DefaultConfig()
+	base, err := CountKeyFor(spec, cfg, 1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := CountKeyFor(spec, cfg, 1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again {
+		t.Fatal("count key not deterministic")
+	}
+	resKey, err := KeyFor(spec, cfg, frontend.PolicyLRU, 1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == resKey {
+		t.Fatal("count key collides with result key")
+	}
+
+	// Counting only sees the fetch geometry: sweep variants that change
+	// the cache size, associativity, BTB or wrong-path mode must share
+	// the same count entry.
+	sweep := cfg
+	sweep.ICache.SizeBytes = 32 * 1024
+	sweep.ICache.Ways = 4
+	sweep.BTB.Entries = 1024
+	sweep.WrongPath = frontend.WrongPathInject
+	if k, err := CountKeyFor(spec, sweep, 1, 50_000); err != nil || k != base {
+		t.Errorf("sweep variant got its own count key (%v)", err)
+	}
+
+	blockCfg := cfg
+	blockCfg.ICache.BlockBytes = 32
+	variants := map[string]func() (Key, error){
+		"seed":   func() (Key, error) { return CountKeyFor(spec, cfg, 2, 50_000) },
+		"target": func() (Key, error) { return CountKeyFor(spec, cfg, 1, 60_000) },
+		"block":  func() (Key, error) { return CountKeyFor(spec, blockCfg, 1, 50_000) },
+		"workload": func() (Key, error) {
+			return CountKeyFor(workload.SuiteN(2)[1], cfg, 1, 50_000)
+		},
+	}
+	seen := map[Key]string{base: "base"}
+	for name, fn := range variants {
+		k, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// Count entries share the result entries' failure semantics: corrupt
+// files quarantine, stale versions are plain misses, hooks intercept.
+func TestCountCorruptAndStale(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := CountKeyFor(testSpec(), frontend.DefaultConfig(), 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutCount(key, Counts{Instructions: 1, Records: 2}); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(key)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetCount(key); ok {
+		t.Fatal("corrupt count entry served as a hit")
+	}
+	if c.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d, want 1", c.Quarantined())
+	}
+	if err := os.WriteFile(path, []byte(`{"Version":0,"Key":"`+string(key)+`","Result":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetCount(key); ok {
+		t.Fatal("stale count entry served as a hit")
+	}
+	if c.Quarantined() != 1 {
+		t.Errorf("stale count entry quarantined (count %d)", c.Quarantined())
+	}
+
+	getErr := errors.New("injected read failure")
+	c.SetTestHooks(TestHooks{BeforeGet: func(string) error { return getErr }})
+	if err := c.PutCount(key, Counts{Instructions: 1, Records: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetCount(key); ok {
+		t.Fatal("GetCount hit despite injected read failure")
+	}
+	putErr := errors.New("injected put failure")
+	c.SetTestHooks(TestHooks{BeforePut: func(string) error { return putErr }})
+	if err := c.PutCount(key, Counts{}); !errors.Is(err, putErr) {
+		t.Fatalf("PutCount error = %v, want injected failure", err)
+	}
+	if tmps := listTempFiles(t, c.Dir()); len(tmps) != 0 {
+		t.Errorf("aborted PutCount left temp files: %v", tmps)
+	}
 }

@@ -220,8 +220,9 @@ func TestFaultNegativeMaxRetriesDisables(t *testing.T) {
 	}
 }
 
-// A transient result-cache write failure must retry the task and
-// succeed on the second attempt, filling the cache.
+// A transient cache write failure (here the first write of the run:
+// workload 0's memoized count entry) must retry the task and succeed on
+// the second attempt, filling the cache completely.
 func TestFaultCachePutTransientRetries(t *testing.T) {
 	cache, err := resultcache.Open(t.TempDir())
 	if err != nil {
@@ -242,8 +243,10 @@ func TestFaultCachePutTransientRetries(t *testing.T) {
 	if m.Stats.Retries != 1 {
 		t.Errorf("stats retries %d, want 1", m.Stats.Retries)
 	}
-	if n, err := cache.Len(); err != nil || n != 2 {
-		t.Errorf("cache holds %d entries (err %v), want 2", n, err)
+	// 2 result entries + 2 memoized count entries; the faulted count
+	// write was re-attempted and stored.
+	if n, err := cache.Len(); err != nil || n != 4 {
+		t.Errorf("cache holds %d entries (err %v), want 4", n, err)
 	}
 }
 
@@ -255,7 +258,11 @@ func TestFaultCacheCorruptQuarantinedOnRerun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	in := faultinject.New(faultinject.Rule{Op: faultinject.OpCacheCorrupt, Nth: 1, Action: faultinject.Corrupt})
+	// Writes interleave count and result entries (count first per
+	// workload at Parallelism 1), so occurrence 2 is workload 0's result
+	// entry — corrupting a count entry would go unnoticed on a fully
+	// warm rerun, which never re-counts.
+	in := faultinject.New(faultinject.Rule{Op: faultinject.OpCacheCorrupt, Nth: 2, Action: faultinject.Corrupt})
 	cache.SetTestHooks(resultcache.TestHooks{
 		AfterPut: func(path string) {
 			if in.Hit(faultinject.OpCacheCorrupt) {
@@ -287,8 +294,9 @@ func TestFaultCacheCorruptQuarantinedOnRerun(t *testing.T) {
 			t.Errorf("workload %d: warm rerun diverged after quarantine", wi)
 		}
 	}
-	if n, err := cache.Len(); err != nil || n != 3 {
-		t.Errorf("cache holds %d entries (err %v), want 3 (quarantined cell repaired)", n, err)
+	// 3 result + 3 count entries; the quarantined result was repaired.
+	if n, err := cache.Len(); err != nil || n != 6 {
+		t.Errorf("cache holds %d entries (err %v), want 6 (quarantined cell repaired)", n, err)
 	}
 }
 
@@ -408,5 +416,94 @@ func TestFaultSeedDrivenPlacement(t *testing.T) {
 	}
 	if again := run(); again != first {
 		t.Errorf("same seed faulted cell %d then %d", first, again)
+	}
+}
+
+// A transient cache write failing mid fan-out (after some of the
+// workload's cells were already recorded) must retry only the
+// unrecorded remainder and still end bit-identical to the serial
+// reference: fan-out lanes are independent, so re-fusing a subset
+// reproduces the same per-policy results.
+func TestFaultCachePutMidFanOutRetries(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write order at Parallelism 1: wl0 count, wl0 results x3, wl1 count,
+	// wl1 results x3. Occurrence 4 is workload 0's third result entry, so
+	// two of its cells are recorded before the attempt fails.
+	in := faultinject.New(faultinject.Rule{Op: faultinject.OpCachePut, Nth: 4, Action: faultinject.Transient})
+	cache.SetTestHooks(resultcache.TestHooks{
+		BeforePut: func(path string) error { return in.Fire(context.Background(), faultinject.OpCachePut) },
+	})
+	base := faultOptions(2)
+	base.Policies = []frontend.PolicyKind{frontend.PolicyLRU, frontend.PolicySRRIP, frontend.PolicyGHRP}
+	ref := serialReference(t, base)
+
+	opts := base
+	opts.Cache = cache
+	observer, count, _ := countEvents()
+	opts.Observer = observer
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatalf("mid-fan-out cache failure not retried: %v", err)
+	}
+	requireMatchesReference(t, m, ref)
+	if m.Stats.Retries != 1 {
+		t.Errorf("stats retries %d, want 1", m.Stats.Retries)
+	}
+	// Every cell completes exactly once across the two attempts.
+	if got := count(obs.PolicyDone); got != 6 {
+		t.Errorf("%d PolicyDone events, want 6", got)
+	}
+	if got := count(obs.WorkloadDone); got != 2 {
+		t.Errorf("%d WorkloadDone events, want 2", got)
+	}
+	// 2 count entries + 6 result entries, the faulted one re-written.
+	if n, err := cache.Len(); err != nil || n != 8 {
+		t.Errorf("cache holds %d entries (err %v), want 8", n, err)
+	}
+}
+
+// A panic in a multi-policy fused task must fail only that workload —
+// all of its cells — while other workloads' cells complete.
+func TestFaultPanicMultiPolicyKeepGoing(t *testing.T) {
+	opts := faultOptions(3)
+	opts.Policies = []frontend.PolicyKind{frontend.PolicyLRU, frontend.PolicyGHRP}
+	clean, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts = faultOptions(3)
+	opts.Policies = []frontend.PolicyKind{frontend.PolicyLRU, frontend.PolicyGHRP}
+	opts.KeepGoing = true
+	opts.Faults = faultinject.New(faultinject.Rule{Op: faultinject.OpTask, Nth: 2, Action: faultinject.Panic})
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatalf("keep-going run aborted: %v", err)
+	}
+	for wi, r := range m.Raw {
+		wantErr := wi == 1 // occurrence 2 of OpTask = second workload task
+		if (r.Err != nil) != wantErr {
+			t.Errorf("workload %d: Err = %v, want failed=%v", wi, r.Err, wantErr)
+		}
+		for pi := range m.Policies {
+			if wantErr {
+				if r.Completed[pi] {
+					t.Errorf("workload %d cell %d: failed workload marked completed", wi, pi)
+				}
+			} else {
+				if !r.Completed[pi] {
+					t.Errorf("workload %d cell %d: not completed", wi, pi)
+				}
+				if r.Results[pi] != clean.Raw[wi].Results[pi] {
+					t.Errorf("workload %d cell %d: diverged from clean run", wi, pi)
+				}
+			}
+		}
+	}
+	if done := m.Completed(); len(done.Specs) != 2 {
+		t.Errorf("Completed kept %d workloads, want 2", len(done.Specs))
 	}
 }

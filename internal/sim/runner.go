@@ -46,10 +46,11 @@ type Options struct {
 	// Scale multiplies each workload's default instruction budget;
 	// defaults to 1.0.
 	Scale float64
-	// Parallelism bounds concurrent simulation tasks. The scheduler is
-	// flattened: each (workload, policy) pair is one independent task,
-	// so a long workload's replays spread across workers instead of
-	// serializing behind one core. Defaults to GOMAXPROCS.
+	// Parallelism bounds concurrent simulation tasks. Each workload is
+	// one task: its program is executed once and the record stream drives
+	// every uncached policy lane in lockstep (frontend.SimulateFanOut),
+	// so adding policies costs policy work, not extra executor passes.
+	// Defaults to GOMAXPROCS.
 	Parallelism int
 	// ExecSeed seeds workload execution (fixed across policies so every
 	// policy replays the identical trace). The zero value means "unset"
@@ -65,14 +66,17 @@ type Options struct {
 	// frontend.DefaultProgressEvery.
 	ProgressEvery uint64
 	// Cache, when non-nil, is consulted before each (workload, policy)
-	// task and filled after it: cells already simulated under the
+	// cell and filled after it: cells already simulated under the
 	// identical (profile, seed, budget, config, policy) key are loaded
 	// from disk instead of replayed, which makes sweeps, ablations and
 	// repeat runs skip their redundant baseline cells. Hits are
 	// reported via obs.PolicyCached events and RunStats cache counters.
+	// The workload's counting pre-pass is memoized alongside the result
+	// cells (resultcache.Counts), so a warm rerun that still has cells
+	// to simulate skips the counting traversal too.
 	Cache *resultcache.Cache
-	// TaskTimeout bounds one (workload, policy) task's wall time,
-	// shared prep included for whichever task runs it; 0 disables. A
+	// TaskTimeout bounds one workload task's wall time — prep, counting
+	// and the fused replay of all its uncached cells; 0 disables. A
 	// task over deadline fails with ErrTaskTimeout.
 	TaskTimeout time.Duration
 	// StallTimeout bounds the time between a task's progress reports;
@@ -241,33 +245,21 @@ func Run(opts Options) (*Measurements, error) {
 	return RunContext(context.Background(), opts)
 }
 
-// task is one unit of scheduler work: replay workload wi under policy pi.
-type task struct{ wi, pi int }
+// task is one unit of scheduler work: one workload, replayed under every
+// policy that the result cache could not answer, in a single fused
+// traversal.
+type task struct{ wi int }
 
-// wlState is the shared per-workload state behind a workload's policy
-// tasks: the generated program and warm-up window (produced once by
-// whichever task arrives first), the remaining-task counter that
-// triggers WorkloadDone/WorkloadFailed, and the first error.
+// wlState is one workload's scheduler state. A workload is a single
+// task owned by one worker at a time, so the fields need no locking;
+// they persist across that task's retry attempts (the program and
+// warm-up window survive a transient replay failure, and started keeps
+// WorkloadStart from re-firing).
 type wlState struct {
-	startOnce sync.Once // emits WorkloadStart
-	prepOnce  sync.Once // Generate + counting pre-pass
-	start     time.Time
-	started   atomic.Bool
-	prog      *workload.Program
-	warm      uint64
-	prepErr   error
-	pending   atomic.Int32 // tasks not yet finished
-	mu        sync.Mutex
-	err       error // first task error
-}
-
-// fail records the workload's first error.
-func (st *wlState) fail(err error) {
-	st.mu.Lock()
-	if st.err == nil {
-		st.err = err
-	}
-	st.mu.Unlock()
+	start   time.Time
+	started bool
+	prog    *workload.Program
+	warm    uint64
 }
 
 // runState carries one RunContext invocation's shared pieces.
@@ -280,19 +272,21 @@ type runState struct {
 }
 
 // RunContext simulates every workload under every policy. The schedule
-// is a flat queue of (workload, policy) tasks drained by
-// Options.Parallelism workers: each policy replay is an independent
-// task, so a few long workloads no longer serialize their own replays
-// behind one core, while the workload's program generation and counting
-// pre-pass still run exactly once (shared through a per-workload
-// sync.Once prep stage). Each task's deterministic branch stream is
-// re-emitted from the program (streaming replay, no per-workload record
-// buffer), so policies are compared on identical streams and results
-// are bit-identical at any parallelism. Workload failures are
-// aggregated with errors.Join rather than truncated to the first; a
-// context cancellation aborts in-flight replays promptly and is
-// reported via ctx.Err(), with every unfinished workload still emitting
-// a WorkloadFailed event so RunStats accounts for the whole suite.
+// is a queue of workload tasks drained by Options.Parallelism workers.
+// Each task executes its workload's program exactly once and feeds the
+// record stream to every policy the result cache could not answer in
+// lockstep (frontend.SimulateFanOut), so executor interpretation costs
+// 1× per workload instead of once per policy plus the counting
+// pre-pass — and the pre-pass itself is memoized in the result cache.
+// Cache hits stay per-cell: a cell served from disk is reported via
+// obs.PolicyCached and excluded from the fused replay. Because fan-out
+// lanes are fully independent and the stream is deterministic, results
+// are bit-identical to per-policy replays at any parallelism. Workload
+// failures are aggregated with errors.Join rather than truncated to
+// the first; a context cancellation aborts in-flight replays promptly
+// and is reported via ctx.Err(), with every unfinished workload still
+// emitting a WorkloadFailed event so RunStats accounts for the whole
+// suite.
 //
 // The scheduler is fault-tolerant: a panicking task is contained to a
 // PanicError failing only its workload while the queue drains; tasks
@@ -330,7 +324,6 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 		observe: obs.Multi(collector.Observe, opts.Observer),
 	}
 	for wi := range r.states {
-		r.states[wi].pending.Store(int32(np))
 		// Result slots are preallocated so tasks write disjoint elements
 		// without a lock.
 		out.Raw[wi] = WorkloadResult{Spec: opts.Workloads[wi],
@@ -343,22 +336,18 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	runStart := time.Now()
 	r.observe(obs.Event{Kind: obs.RunStart, Workloads: n, Policies: np})
 
-	// Every task is queued up front (workload-major, so at Parallelism 1
-	// the schedule matches the old per-workload order and a workload's
-	// program is released as soon as its last policy finishes). Workers
-	// that observe a cancelled context drain the queue without
-	// simulating, so every task is accounted for exactly once.
-	tasks := make(chan task, n*np)
+	// Every task is queued up front, one per workload, in suite order.
+	// Workers that observe a cancelled context drain the queue without
+	// simulating, so every workload is accounted for exactly once.
+	tasks := make(chan task, n)
 	for wi := 0; wi < n; wi++ {
-		for pi := 0; pi < np; pi++ {
-			tasks <- task{wi, pi}
-		}
+		tasks <- task{wi}
 	}
 	close(tasks)
 
 	workers := opts.Parallelism
-	if workers > n*np {
-		workers = n * np
+	if workers > n {
+		workers = n
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -366,12 +355,11 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 		go func() {
 			defer wg.Done()
 			for t := range tasks {
-				if err := ctx.Err(); err != nil {
-					r.states[t.wi].fail(err)
-				} else if err := r.runTaskRetrying(ctx, t); err != nil {
-					r.states[t.wi].fail(err)
+				err := ctx.Err()
+				if err == nil {
+					err = r.runTaskRetrying(ctx, t)
 				}
-				r.finishTask(ctx, t.wi)
+				r.finishTask(ctx, t.wi, err)
 			}
 		}()
 	}
@@ -496,7 +484,9 @@ func (w *taskWatch) fault(err error) error {
 // runTaskRetrying drives one task through runTaskSafe, re-attempting
 // transient failures (IsRetryable) up to Options.MaxRetries times with
 // exponential, deterministically-jittered backoff. Each retry emits an
-// obs.TaskRetry event; a cancelled run context stops the loop.
+// obs.TaskRetry event; a cancelled run context stops the loop. Cells
+// completed by an earlier attempt (recorded before a transient cache
+// failure, say) are skipped by the retry, which fuses the remainder.
 func (r *runState) runTaskRetrying(ctx context.Context, t task) error {
 	opts := r.opts
 	maxRetries := opts.MaxRetries
@@ -511,9 +501,8 @@ func (r *runState) runTaskRetrying(ctx context.Context, t task) error {
 		retry := attempt + 1
 		r.observe(obs.Event{Kind: obs.TaskRetry,
 			Workload: opts.Workloads[t.wi].Name, WorkloadIndex: t.wi,
-			Policy: opts.Policies[t.pi].String(), PolicyIndex: t.pi,
 			Attempt: retry, Err: err})
-		seed := opts.ExecSeed ^ uint64(t.wi)<<20 ^ uint64(t.pi)
+		seed := opts.ExecSeed ^ uint64(t.wi)<<20
 		if delay := retryDelay(opts.RetryBackoff, retry, seed); delay > 0 {
 			timer := time.NewTimer(delay)
 			select {
@@ -538,34 +527,22 @@ func (r *runState) runTaskSafe(ctx context.Context, t task) (err error) {
 	return r.runTask(ctx, t)
 }
 
-// runTask executes one (workload, policy) cell: result-cache lookup,
-// shared prep (program generation + counting pre-pass, run by whichever
-// of the workload's tasks gets here first), streaming replay, and
-// cache fill.
+// runTask executes one workload task: per-cell result-cache lookups,
+// prep (program generation + memoized counting pre-pass), one fused
+// replay of every cell the cache could not answer, and per-cell cache
+// fills. Cells completed by an earlier attempt of this task are skipped.
 func (r *runState) runTask(ctx context.Context, t task) error {
 	opts := r.opts
 	st := &r.states[t.wi]
 	spec := opts.Workloads[t.wi]
-	kind := opts.Policies[t.pi]
 	n, np := len(opts.Workloads), len(opts.Policies)
 	target := targetFor(spec, opts.Scale)
 
-	st.startOnce.Do(func() {
+	if !st.started {
 		st.start = time.Now()
-		st.started.Store(true)
+		st.started = true
 		r.observe(obs.Event{Kind: obs.WorkloadStart, Workload: spec.Name, WorkloadIndex: t.wi,
 			Workloads: n, Policies: np})
-	})
-
-	// A sibling task already failed this workload: don't burn a worker
-	// on a replay whose result would be discarded. The permanent wrapper
-	// keeps a sibling's transient error from triggering retries of a
-	// task that never ran.
-	st.mu.Lock()
-	werr := st.err
-	st.mu.Unlock()
-	if werr != nil {
-		return &permanentError{werr}
 	}
 
 	// The watch scopes this attempt: its deadline and stall watchdog die
@@ -579,64 +556,89 @@ func (r *runState) runTask(ctx context.Context, t task) error {
 		}
 	}
 
-	// The cache key depends only on the cell's inputs, so a hit skips
-	// not just the replay but (when every policy hits) the workload's
-	// whole prep stage.
-	var key resultcache.Key
-	cacheMiss := false
-	if opts.Cache != nil {
-		var err error
-		key, err = resultcache.KeyFor(spec, opts.Config, kind, opts.ExecSeed, target)
+	// Cache hits stay per-cell: each answered cell is recorded and
+	// reported (PolicyCached) individually, and only the remainder joins
+	// the fused replay. A retry lands here with earlier attempts' cells
+	// already marked completed and skips them the same way.
+	completed := r.out.Raw[t.wi].Completed
+	keys := make([]resultcache.Key, np)
+	missing := make([]int, 0, np)
+	for pi, kind := range opts.Policies {
+		if completed[pi] {
+			continue
+		}
+		if opts.Cache != nil {
+			key, err := resultcache.KeyFor(spec, opts.Config, kind, opts.ExecSeed, target)
+			if err != nil {
+				return err
+			}
+			keys[pi] = key
+			start := time.Now()
+			if res, ok := opts.Cache.Get(key); ok && res.Policy == kind {
+				r.record(t.wi, pi, res)
+				r.observe(obs.Event{Kind: obs.PolicyCached, Workload: spec.Name, WorkloadIndex: t.wi,
+					Policy: kind.String(), PolicyIndex: pi, Policies: np,
+					Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start)})
+				continue
+			}
+		}
+		missing = append(missing, pi)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+
+	// Prep: generate the program and derive the warm-up window. The
+	// counting pre-pass is memoized in the result cache (the count
+	// depends only on the fetch geometry, so one entry serves every
+	// policy and sweep variant); prep state is kept only once the whole
+	// stage — count store included — succeeded, so a transient failure
+	// here retries side-effect free.
+	if st.prog == nil {
+		prog, err := spec.Generate()
 		if err != nil {
 			return err
 		}
-		start := time.Now()
-		if res, ok := opts.Cache.Get(key); ok && res.Policy == kind {
-			r.record(t, res)
-			r.observe(obs.Event{Kind: obs.PolicyCached, Workload: spec.Name, WorkloadIndex: t.wi,
-				Policy: kind.String(), PolicyIndex: t.pi, Policies: np,
-				Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start)})
-			return nil
-		}
-		cacheMiss = true
-	}
-
-	st.prepOnce.Do(func() {
-		// Prep shares this attempt's watch: a hung generator trips the
-		// same deadline and stall watchdog a hung replay would. A prep
-		// panic is contained here so the sync.Once is not poisoned
-		// mid-flight; siblings see it as the workload's prep error.
-		defer func() {
-			if p := recover(); p != nil {
-				st.prepErr = &PanicError{Value: p, Stack: debug.Stack()}
+		var countKey resultcache.Key
+		counts, haveCounts := resultcache.Counts{}, false
+		if opts.Cache != nil {
+			countKey, err = resultcache.CountKeyFor(spec, opts.Config, opts.ExecSeed, target)
+			if err != nil {
+				return err
 			}
-		}()
-		prog, err := spec.Generate()
-		if err != nil {
-			st.prepErr = err
-			return
+			counts, haveCounts = opts.Cache.GetCount(countKey)
 		}
-		counting := frontend.StreamOptions{
-			ProgressEvery: opts.ProgressEvery,
-			Progress: func(records, instructions uint64) error {
-				w.touch()
-				return w.ctx.Err()
-			},
+		if !haveCounts {
+			counting := frontend.StreamOptions{
+				ProgressEvery: opts.ProgressEvery,
+				Progress: func(records, instructions uint64) error {
+					w.touch()
+					return w.ctx.Err()
+				},
+			}
+			instrs, records, err := frontend.CountProgram(opts.Config, prog, opts.ExecSeed, target, counting)
+			if err != nil {
+				return w.fault(err)
+			}
+			counts = resultcache.Counts{Instructions: instrs, Records: records}
+			if opts.Cache != nil {
+				if err := opts.Cache.PutCount(countKey, counts); err != nil {
+					return &RetryableError{fmt.Errorf("count cache put: %w", err)}
+				}
+			}
 		}
-		total, _, err := frontend.CountProgram(opts.Config, prog, opts.ExecSeed, target, counting)
-		if err != nil {
-			st.prepErr = w.fault(err)
-			return
-		}
-		st.prog, st.warm = prog, opts.Config.WarmupFor(total)
-	})
-	if st.prepErr != nil {
-		// Prep runs once per workload and cannot be re-attempted, so its
-		// error is permanent for every task that observes it.
-		return &permanentError{st.prepErr}
+		st.prog, st.warm = prog, opts.Config.WarmupFor(counts.Instructions)
 	}
 
+	// One fused traversal drives every missing cell. Progress ticks are
+	// labeled with the fan-out width and attributed to the first missing
+	// cell, whose PolicyDone retires the in-flight slot.
+	kinds := make([]frontend.PolicyKind, len(missing))
+	for i, pi := range missing {
+		kinds[i] = opts.Policies[pi]
+	}
 	start := time.Now()
+	label := fmt.Sprintf("fanout(%d)", len(missing))
 	so := frontend.StreamOptions{
 		ProgressEvery: opts.ProgressEvery,
 		Progress: func(records, instructions uint64) error {
@@ -650,64 +652,68 @@ func (r *runState) runTask(ctx context.Context, t task) error {
 				return err
 			}
 			r.observe(obs.Event{Kind: obs.Tick, Workload: spec.Name, WorkloadIndex: t.wi,
-				Policy: kind.String(), PolicyIndex: t.pi, Policies: np,
+				Policy: label, PolicyIndex: missing[0], Policies: np,
 				Records: records, Instructions: instructions, Elapsed: time.Since(start)})
 			return nil
 		},
 	}
-	res, err := frontend.SimulateProgramStream(opts.Config, kind, st.prog, opts.ExecSeed, target, st.warm, so)
+	results, err := frontend.SimulateFanOut(opts.Config, kinds, st.prog, opts.ExecSeed, target, st.warm, so)
 	if err != nil {
 		return w.fault(err)
 	}
-	// The cache fill happens before the result is recorded: a failed
-	// write surfaces as a retryable error while the attempt is still
-	// side-effect free, so the retry re-simulates and re-fills cleanly.
-	if opts.Cache != nil {
-		if err := opts.Cache.Put(key, res); err != nil {
-			return &RetryableError{fmt.Errorf("result cache put: %w", err)}
+	// Per-cell completion: fill the cache, then record, then report. A
+	// cache fill happens before its cell is recorded, so a failed write
+	// surfaces as a retryable error while that cell is still side-effect
+	// free — the retry re-simulates exactly the unrecorded remainder
+	// (lanes are independent, so the re-fused subset stays
+	// bit-identical). The fused wall time is attributed evenly so
+	// per-policy totals remain meaningful.
+	elapsed := time.Since(start)
+	share := elapsed / time.Duration(len(missing))
+	for i, pi := range missing {
+		res := results[i]
+		kind := opts.Policies[pi]
+		if opts.Cache != nil {
+			if err := opts.Cache.Put(keys[pi], res); err != nil {
+				return &RetryableError{fmt.Errorf("result cache put: %w", err)}
+			}
 		}
+		r.record(t.wi, pi, res)
+		r.observe(obs.Event{Kind: obs.PolicyDone, Workload: spec.Name, WorkloadIndex: t.wi,
+			Policy: kind.String(), PolicyIndex: pi, Policies: np,
+			Records: res.Records, Instructions: res.TotalInstructions, Elapsed: share,
+			CacheMiss: opts.Cache != nil})
 	}
-	r.record(t, res)
-	r.observe(obs.Event{Kind: obs.PolicyDone, Workload: spec.Name, WorkloadIndex: t.wi,
-		Policy: kind.String(), PolicyIndex: t.pi, Policies: np,
-		Records: res.Records, Instructions: res.TotalInstructions, Elapsed: time.Since(start),
-		CacheMiss: cacheMiss})
 	return nil
 }
 
-// record stores one task's result. Every task owns distinct slice
-// elements, so no lock is needed.
-func (r *runState) record(t task, res frontend.Result) {
-	kind := r.opts.Policies[t.pi]
-	r.out.Raw[t.wi].Results[t.pi] = res
-	r.out.Raw[t.wi].Completed[t.pi] = true
-	r.out.ICacheMPKI[kind][t.wi] = res.ICacheMPKI()
-	r.out.BTBMPKI[kind][t.wi] = res.BTBMPKI()
-	if t.pi == 0 {
-		r.out.BranchMPKI[t.wi] = res.BranchMPKI()
+// record stores one cell's result. Every workload owns distinct slice
+// elements and runs on one worker, so no lock is needed.
+func (r *runState) record(wi, pi int, res frontend.Result) {
+	kind := r.opts.Policies[pi]
+	r.out.Raw[wi].Results[pi] = res
+	r.out.Raw[wi].Completed[pi] = true
+	r.out.ICacheMPKI[kind][wi] = res.ICacheMPKI()
+	r.out.BTBMPKI[kind][wi] = res.BTBMPKI()
+	if pi == 0 {
+		r.out.BranchMPKI[wi] = res.BranchMPKI()
 	}
 }
 
-// finishTask retires one task; the workload's last task emits its
-// completion event, releases the shared program, and records the
-// workload error (cancellations are reported once via ctx.Err() by
-// RunContext, not once per aborted workload — but they still emit a
-// WorkloadFailed event so RunStats does not under-report the suite).
-func (r *runState) finishTask(ctx context.Context, wi int) {
+// finishTask retires one workload: emits its completion event, releases
+// the program, and records the workload error (cancellations are
+// reported once via ctx.Err() by RunContext, not once per aborted
+// workload — but they still emit a WorkloadFailed event so RunStats
+// does not under-report the suite).
+func (r *runState) finishTask(ctx context.Context, wi int, err error) {
 	st := &r.states[wi]
-	if st.pending.Add(-1) != 0 {
-		return
-	}
-	st.prog = nil // release for GC; all of this workload's tasks are done
+	st.prog = nil // release for GC; this workload is done
 	spec := r.opts.Workloads[wi]
 	n := len(r.opts.Workloads)
 	var elapsed time.Duration
-	if st.started.Load() {
+	if st.started {
 		elapsed = time.Since(st.start)
 	}
-	st.mu.Lock()
-	err := st.err
-	st.mu.Unlock()
 	if err == nil {
 		r.observe(obs.Event{Kind: obs.WorkloadDone, Workload: spec.Name, WorkloadIndex: wi,
 			Workloads: n, Elapsed: elapsed})

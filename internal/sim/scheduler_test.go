@@ -65,8 +65,8 @@ func requireMatchesReference(t *testing.T, m *Measurements, ref [][]frontend.Res
 	}
 }
 
-// The flattened (workload x policy) scheduler must produce bit-identical
-// Measurements to the serial reference at Parallelism 1 and GOMAXPROCS.
+// The fused fan-out scheduler must produce bit-identical Measurements
+// to the serial reference at Parallelism 1 and GOMAXPROCS.
 func TestSchedulerMatchesSerialReference(t *testing.T) {
 	ref := serialReference(t, tinyOptions())
 	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
@@ -99,8 +99,11 @@ func TestSchedulerWarmCacheBitIdentical(t *testing.T) {
 		t.Fatalf("cold run: %d hits / %d misses, want 0 / %d",
 			cold.Stats.CacheHits, cold.Stats.CacheMisses, cells)
 	}
-	if n, err := cache.Len(); err != nil || n != cells {
-		t.Fatalf("cache holds %d entries (%v), want %d", n, err, cells)
+	// One result entry per cell plus one memoized count entry per
+	// workload.
+	want := cells + len(cold.Specs)
+	if n, err := cache.Len(); err != nil || n != want {
+		t.Fatalf("cache holds %d entries (%v), want %d", n, err, want)
 	}
 
 	var (
@@ -234,6 +237,47 @@ func TestHeadroomSharesCache(t *testing.T) {
 	}
 }
 
+// The interop holds in the other direction too: result entries written
+// by the buffered headroom path must be hit by the fused scheduler, so
+// a headroom-first workflow never replays cells the bound computation
+// already simulated.
+func TestRunReusesHeadroomCache(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workloads: workload.SuiteN(3), Scale: 0.05, Cache: cache}
+	if _, err := ComputeHeadroom(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	n0, err := cache.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(m.Specs) * len(m.Policies)
+	if m.Stats.CacheHits != cells || m.Stats.CacheMisses != 0 {
+		t.Errorf("fused run after headroom: %d hits / %d misses, want %d / 0",
+			m.Stats.CacheHits, m.Stats.CacheMisses, cells)
+	}
+	// A fully-warm run never counts, so no count entries are added either.
+	if n1, err := cache.Len(); err != nil || n1 != n0 {
+		t.Errorf("fused run grew cache from %d to %d (%v); every cell should hit", n0, n1, err)
+	}
+	plain, err := Run(Options{Workloads: workload.SuiteN(3), Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([][]frontend.Result, len(plain.Raw))
+	for wi := range plain.Raw {
+		ref[wi] = plain.Raw[wi].Results
+	}
+	requireMatchesReference(t, m, ref)
+}
+
 // A failing workload must not poison its siblings, and its error must
 // carry the workload name exactly once even with several policy tasks.
 func TestSchedulerPartialFailure(t *testing.T) {
@@ -248,11 +292,12 @@ func TestSchedulerPartialFailure(t *testing.T) {
 	}
 }
 
-// runPerWorkload reimplements the old scheduler — one goroutine per
-// workload, its policies strictly serial — as the benchmark baseline the
-// flattened scheduler must not lose to. It carries the same per-replay
-// overheads (progress callbacks, obs events into a collector) so the two
-// benchmarks differ only in scheduling.
+// runPerWorkload reimplements the pre-fusion scheduler — one goroutine
+// per workload, its policies replayed strictly serially, each replay
+// re-executing the program — as the benchmark baseline the fused
+// scheduler must beat. It carries the same per-replay overheads
+// (progress callbacks, obs events into a collector) so the two
+// benchmarks differ only in execution strategy.
 func runPerWorkload(b *testing.B, opts Options) {
 	b.Helper()
 	ctx := context.Background()
@@ -318,16 +363,15 @@ func runPerWorkload(b *testing.B, opts Options) {
 }
 
 // benchOptions is a deliberately skewed suite — few workloads, one of
-// them much longer — where per-workload scheduling serializes the long
-// workload's five replays behind one core while the flattened scheduler
-// spreads them across workers.
+// them much longer — where the per-policy baseline pays N+1 executor
+// passes over the long workload while the fused scheduler pays one.
 func benchOptions() Options {
 	specs := workload.SuiteN(6)
 	specs[0].DefaultInstructions *= 8
 	return Options{Workloads: specs, Scale: 0.1}
 }
 
-func BenchmarkSchedulerFlattened(b *testing.B) {
+func BenchmarkSchedulerFused(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(benchOptions()); err != nil {
 			b.Fatal(err)

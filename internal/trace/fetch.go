@@ -89,6 +89,49 @@ func (f *Fetcher) Next(rec Record, visit BlockVisitor) uint64 {
 	return instrs
 }
 
+// BlockSpan is one cache block touched by a fetch group, together with
+// the number of instructions the group contributes to that block.
+type BlockSpan struct {
+	Block  uint64
+	Instrs int
+}
+
+// NextSpans is Next with the visitor devirtualized for the hot replay
+// path: it consumes one branch record, appends one BlockSpan per
+// distinct cache block (in fetch order) to spans — reusing the slice's
+// capacity, so a caller that passes its scratch back in allocates
+// nothing in steady state — and returns the extended slice with the
+// instruction count. It must stay in lockstep with Next; the
+// equivalence is pinned by TestNextSpansMatchesNext.
+func (f *Fetcher) NextSpans(rec Record, spans []BlockSpan) ([]BlockSpan, uint64) {
+	if !f.started {
+		f.pc = rec.PC
+		f.started = true
+	}
+	if rec.PC < f.pc || rec.PC-f.pc > maxSequentialRun*f.instrBytes {
+		f.resyncs++
+		f.pc = rec.PC
+	}
+	instrs := (rec.PC-f.pc)/f.instrBytes + 1
+	instrShift := shiftOf(f.instrBytes)
+	blockInstrs := uint64(1) << (f.blockShift - instrShift)
+	first, last := f.pc>>f.blockShift, rec.PC>>f.blockShift
+	firstIdx := (f.pc >> instrShift) & (blockInstrs - 1)
+	lastIdx := (rec.PC >> instrShift) & (blockInstrs - 1)
+	for b := first; b <= last; b++ {
+		lo, hi := uint64(0), blockInstrs-1
+		if b == first {
+			lo = firstIdx
+		}
+		if b == last {
+			hi = lastIdx
+		}
+		spans = append(spans, BlockSpan{Block: b, Instrs: int(hi - lo + 1)})
+	}
+	f.pc = rec.NextPC(f.instrBytes)
+	return spans, instrs
+}
+
 // Resyncs returns how many discontinuities were repaired; zero for a
 // well-formed trace.
 func (f *Fetcher) Resyncs() uint64 { return f.resyncs }

@@ -194,3 +194,52 @@ func TestFetcherBlockAccountingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// NextSpans must stay in lockstep with Next: for any record stream —
+// including discontinuities that force resyncs — the two walks report
+// identical blocks, per-block instruction counts, totals, and fetcher
+// state.
+func TestNextSpansMatchesNext(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := NewFetcher(4, 64)
+		if err != nil {
+			return false
+		}
+		b, _ := NewFetcher(4, 64)
+		pc := uint64(0x400000)
+		var spans []BlockSpan
+		for i := 0; i < 80; i++ {
+			branchPC := pc + uint64(rng.Intn(300))*4
+			if rng.Intn(10) == 0 { // discontinuity: jump backwards or far forwards
+				branchPC = uint64(0x100000) + uint64(rng.Intn(1<<22))*4
+			}
+			rec := Record{PC: branchPC, Target: uint64(0x400000) + uint64(rng.Intn(1<<20))*4,
+				Type: CondDirect, Taken: rng.Intn(2) == 0}
+			var blocks []uint64
+			var counts []int
+			wantInstrs := a.Next(rec, func(blk uint64, n int) {
+				blocks = append(blocks, blk)
+				counts = append(counts, n)
+			})
+			var gotInstrs uint64
+			spans, gotInstrs = b.NextSpans(rec, spans[:0])
+			if gotInstrs != wantInstrs || len(spans) != len(blocks) {
+				return false
+			}
+			for j, s := range spans {
+				if s.Block != blocks[j] || s.Instrs != counts[j] {
+					return false
+				}
+			}
+			if a.PC() != b.PC() || a.Resyncs() != b.Resyncs() {
+				return false
+			}
+			pc = rec.NextPC(4)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,10 +38,10 @@ func FuzzTraceReader(f *testing.F) {
 		{PC: 0x1008, Target: 0x4000, Type: DirectCall, Taken: true},
 	})
 	f.Add(seed)
-	f.Add(seed[:len(seed)-2])                // truncated footer
-	f.Add(seed[:9])                          // header cut mid-name
-	f.Add([]byte{})                          // empty input
-	f.Add([]byte("GHRPTRC1"))                // magic only
+	f.Add(seed[:len(seed)-2])                 // truncated footer
+	f.Add(seed[:9])                           // header cut mid-name
+	f.Add([]byte{})                           // empty input
+	f.Add([]byte("GHRPTRC1"))                 // magic only
 	f.Add([]byte("not a trace at all......")) // wrong magic
 	// Declared record count far beyond the data: the reader must fail
 	// cleanly, and ReadAll must not preallocate the declared count.
