@@ -1,0 +1,44 @@
+// Command ghrplint runs ghrpsim's determinism and hot-path analyzers
+// over the given package patterns (default ./...). It exits 0 when the
+// tree is clean, 1 when any diagnostic fires, and 2 on driver errors.
+//
+// Diagnostics print as file:line:col: [analyzer] message. A finding can
+// be suppressed at its line (or the line above) with
+// //ghrplint:ignore <analyzer> <reason> — the reason is mandatory. See
+// internal/lint and the "Static analysis" section of DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghrpsim/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ghrplint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghrplint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ghrplint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -134,6 +134,7 @@ func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 // target change is counted, as for indirect branches); on a miss a new
 // entry is allocated unless the policy bypasses it. Returns whether the
 // access hit.
+//ghrp:hotpath
 func (b *BTB) Access(pc, target uint64) (hit bool) {
 	set := b.setIndex(pc)
 	a := cache.Access{Block: b.key(pc), PC: pc, Set: set}
@@ -189,6 +190,7 @@ func (b *BTB) Access(pc, target uint64) (hit bool) {
 		return false
 	}
 	if way < 0 || way >= b.ways {
+		//ghrplint:ignore hotalloc cold invariant-violation path; fires only on a buggy policy, never in a clean replay
 		panic(fmt.Sprintf("btb: policy %s returned way %d of %d", b.policy.Name(), way, b.ways))
 	}
 	e := &b.entries[set*b.ways+way]

@@ -166,6 +166,7 @@ func (c *Cache) Access(a Access) (hit bool) {
 
 // AccessEx is Access but additionally reports whether a missing block was
 // bypassed.
+//ghrp:hotpath
 func (c *Cache) AccessEx(a Access) (hit, bypassed bool) {
 	a.Set = c.SetIndex(a.Block)
 	c.now++
@@ -218,6 +219,7 @@ func (c *Cache) AccessEx(a Access) (hit, bypassed bool) {
 		return false, true
 	}
 	if way < 0 || way >= c.ways {
+		//ghrplint:ignore hotalloc cold invariant-violation path; fires only on a buggy policy, never in a clean replay
 		panic(fmt.Sprintf("cache: policy %s returned way %d of %d", c.policy.Name(), way, c.ways))
 	}
 	f := c.frame(a.Set, way)

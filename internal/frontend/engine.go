@@ -287,7 +287,11 @@ func (e *Engine) Process(r trace.Record) {
 
 // stepRecord advances the front and every lane by one branch record. The
 // single-policy Engine and the multi-policy FanOut both funnel through
-// it, so the two paths cannot drift apart.
+// it, so the two paths cannot drift apart. It runs once per record and
+// must stay allocation-free (TestStepAllocFree pins the dynamic count;
+// the hotalloc analyzer pins the constructs statically).
+//
+//ghrp:hotpath
 func stepRecord(f *front, lanes []*lane, r trace.Record) {
 	f.records++
 	preWarm := f.warm
@@ -403,6 +407,8 @@ func stepRecord(f *front, lanes []*lane, r trace.Record) {
 // simulation). With next-line prefetching enabled, a demand miss also
 // installs the following block; prefetch fills do not count as demand
 // traffic.
+//
+//ghrp:hotpath
 func (l *lane) access(block, pc uint64, warm bool) {
 	hit, _ := l.icache.AccessEx(cache.Access{Block: block, PC: pc})
 	if l.ghrp != nil {

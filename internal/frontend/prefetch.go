@@ -33,10 +33,12 @@ type prefetchFilter struct {
 
 func newPrefetchFilter() *prefetchFilter { return &prefetchFilter{} }
 
+//ghrp:hotpath
 func (p *prefetchFilter) add(block uint64) {
 	p.slots[block%prefetchFilterSlots] = block + 1
 }
 
+//ghrp:hotpath
 func (p *prefetchFilter) take(block uint64) bool {
 	i := block % prefetchFilterSlots
 	if p.slots[i] == block+1 {

@@ -1,0 +1,47 @@
+package lint
+
+import "go/types"
+
+// globalStateSafeRand names the math/rand package-level functions that
+// do NOT touch the process-global source: constructors that return (or
+// feed) an explicitly seeded generator.
+var globalStateSafeRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes the *Rand it draws from
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// DetRand forbids math/rand's process-global state everywhere in
+// non-test code. internal/workload/rng.go threads an explicit splitmix64
+// generator precisely so that two runs with the same seed are
+// bit-identical regardless of what else the process did; one global
+// rand.Intn (or a global Seed call) reintroduces cross-run and
+// cross-goroutine coupling. Methods on an explicitly constructed
+// *rand.Rand are fine.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand global-state functions in non-test code",
+	Run: func(pass *Pass) {
+		for id, obj := range pass.Pkg.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				continue
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				continue // method on an explicit *Rand
+			}
+			if globalStateSafeRand[fn.Name()] {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s draws from process-global randomness; thread a seeded generator instead (see internal/workload/rng.go)",
+				path, fn.Name())
+		}
+	},
+}

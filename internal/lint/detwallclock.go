@@ -1,0 +1,47 @@
+package lint
+
+import "go/types"
+
+// wallClockFuncs are the package time functions that observe or depend
+// on the real clock. Pure time arithmetic (Duration math, time.Unix on
+// a stored stamp) stays legal — the rule is about reading the wall
+// clock, not about the time types.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// DetWallClock forbids wall-clock access in the deterministic packages:
+// a simulation result must be a pure function of (workload, seed,
+// config), and the goldens plus the fan-out/per-policy equivalence
+// contract only hold if nothing in the replay path can observe real
+// time. Timing belongs in sim, obs, prof and the commands, which are
+// allowlisted by omission from the deterministic set.
+var DetWallClock = &Analyzer{
+	Name: "detwallclock",
+	Doc:  "forbid time.Now/Since/Sleep and friends in deterministic packages",
+	Run: func(pass *Pass) {
+		if !deterministic(pass.Pkg) {
+			return
+		}
+		for id, obj := range pass.Pkg.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				continue
+			}
+			if !wallClockFuncs[fn.Name()] {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock; %s is a deterministic package — inject elapsed values from sim/obs instead",
+				fn.Name(), pass.Pkg.Name)
+		}
+	},
+}

@@ -1,0 +1,211 @@
+// Package lint is ghrpsim's in-tree static analysis suite. The
+// simulator's headline guarantees — bit-identical replay across
+// scheduler shapes, deterministic seeding, a zero-allocation hot path —
+// are invariants the Go compiler cannot see; each analyzer here turns
+// one of them into a machine-checked rule that `make lint` (and so
+// `make ci`) enforces on every non-test file in the module.
+//
+// The suite is built on the standard library alone: packages are
+// enumerated with `go list -json -deps` and type-checked from source
+// with go/parser + go/types, so it needs neither golang.org/x/tools nor
+// a network-reachable module cache.
+//
+// A diagnostic can be suppressed at the offending line (or the line
+// directly above it) with
+//
+//	//ghrplint:ignore <analyzer> <reason>
+//
+// The reason is mandatory — an ignore directive without one is itself a
+// build-failing diagnostic, so every suppression carries its
+// justification in the source. maprange additionally accepts
+// //ghrplint:commutative <reason> as the loop-is-order-free annotation.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the shared `file:line:col: [analyzer] message` format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) invocation's context.
+type Pass struct {
+	Pkg      *Package
+	analyzer string
+	out      *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in its documentation order.
+func All() []*Analyzer {
+	return []*Analyzer{DetWallClock, DetRand, MapRange, HotAlloc}
+}
+
+// Run applies the analyzers to every package, resolves suppression
+// directives, and returns the surviving diagnostics sorted by position.
+// Malformed directives (missing reason, unknown analyzer name) are
+// returned as diagnostics of the pseudo-analyzer "driver" and cannot be
+// suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a.Name, out: &raw})
+		}
+		dirs, bad := directives(pkg, known)
+		for _, d := range raw {
+			if !suppressed(d, dirs) {
+				diags = append(diags, d)
+			}
+		}
+		diags = append(diags, bad...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// directive is one parsed, well-formed suppression comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const (
+	ignorePrefix      = "//ghrplint:ignore"
+	commutativePrefix = "//ghrplint:commutative"
+)
+
+// directives scans a package's comments for ghrplint directives,
+// returning the valid ones plus driver diagnostics for malformed ones.
+func directives(pkg *Package, known map[string]bool) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "driver",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				var analyzer, rest string
+				switch {
+				case strings.HasPrefix(text, commutativePrefix):
+					// Loop-level annotation: shorthand for ignoring
+					// maprange with the commutativity argument as reason.
+					analyzer = MapRange.Name
+					rest = strings.TrimSpace(text[len(commutativePrefix):])
+				case strings.HasPrefix(text, ignorePrefix):
+					fields := strings.Fields(text[len(ignorePrefix):])
+					if len(fields) == 0 {
+						report(c.Pos(), "%s needs an analyzer and a reason: %s <analyzer> <why>", ignorePrefix, ignorePrefix)
+						continue
+					}
+					analyzer = fields[0]
+					rest = strings.Join(fields[1:], " ")
+					if !known[analyzer] {
+						report(c.Pos(), "%s names unknown analyzer %q", ignorePrefix, analyzer)
+						continue
+					}
+				default:
+					continue
+				}
+				if rest == "" {
+					report(c.Pos(), "suppression without a reason; write %s %s <why this is safe>", strings.Fields(text)[0], analyzer)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				dirs = append(dirs, directive{file: pos.Filename, line: pos.Line, analyzer: analyzer})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether a directive on the diagnostic's line or
+// the line directly above it names the diagnostic's analyzer.
+func suppressed(d Diagnostic, dirs []directive) bool {
+	for _, dir := range dirs {
+		if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicPackages names the packages whose simulation results
+// must be a pure function of their inputs: any dependence on wall-clock
+// time or iteration order there breaks bit-identical replay. The set is
+// keyed by package name, which is what fixture packages under testdata
+// also use to opt in. sim, obs, prof and the commands are deliberately
+// absent — timing, progress reporting and profiling are their job.
+var deterministicPackages = map[string]bool{
+	"frontend":    true,
+	"cache":       true,
+	"btb":         true,
+	"core":        true,
+	"perceptron":  true,
+	"policies":    true,
+	"indirect":    true,
+	"workload":    true,
+	"analysis":    true,
+	"opt":         true,
+	"stats":       true,
+	"trace":       true,
+	"resultcache": true,
+}
+
+// deterministic reports whether the package is part of the
+// deterministic core.
+func deterministic(p *Package) bool { return deterministicPackages[p.Name] }

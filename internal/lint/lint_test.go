@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureDirs lists every fixture package; they are loaded once, in one
+// go list invocation, so the standard-library dependency closure is
+// type-checked a single time for the whole test file.
+var fixtureDirs = []string{
+	"./testdata/src/wallclock",
+	"./testdata/src/wallclock_ok",
+	"./testdata/src/randglobal",
+	"./testdata/src/maprange_det",
+	"./testdata/src/maprange_render",
+	"./testdata/src/hotalloc",
+	"./testdata/src/suppress",
+}
+
+var (
+	fixturesOnce sync.Once
+	fixturePkgs  []*Package
+	fixturesErr  error
+)
+
+func fixturePackage(t *testing.T, name string) *Package {
+	t.Helper()
+	fixturesOnce.Do(func() {
+		fixturePkgs, fixturesErr = Load(".", fixtureDirs...)
+	})
+	if fixturesErr != nil {
+		t.Fatalf("loading fixtures: %v", fixturesErr)
+	}
+	for _, p := range fixturePkgs {
+		if strings.HasSuffix(p.ImportPath, "/testdata/src/"+name) {
+			return p
+		}
+	}
+	t.Fatalf("fixture package %q not loaded", name)
+	return nil
+}
+
+// want is one expectation parsed from a fixture's `// want` comment:
+// backquoted regexps that must each match a diagnostic on that line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantChunk = regexp.MustCompile("`([^`]+)`")
+
+// collectWants parses the `// want` comments of a fixture package.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				chunks := wantChunk.FindAllStringSubmatch(text, -1)
+				if len(chunks) == 0 {
+					t.Fatalf("%s:%d: want comment without backquoted regexps", pos.Filename, pos.Line)
+				}
+				for _, ch := range chunks {
+					re, err := regexp.Compile(ch[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, ch[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the full analyzer suite over one fixture package
+// and matches the diagnostics against its want comments, both ways.
+func checkFixture(t *testing.T, name string) {
+	t.Helper()
+	pkg := fixturePackage(t, name)
+	wants := collectWants(t, pkg)
+	for _, d := range Run([]*Package{pkg}, All()) {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.String()) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDetWallClockFixture(t *testing.T)   { checkFixture(t, "wallclock") }
+func TestDetWallClockAllowlist(t *testing.T) { checkFixture(t, "wallclock_ok") }
+func TestDetRandFixture(t *testing.T)        { checkFixture(t, "randglobal") }
+func TestMapRangeDeterministic(t *testing.T) { checkFixture(t, "maprange_det") }
+func TestMapRangeRenderers(t *testing.T)     { checkFixture(t, "maprange_render") }
+func TestHotAllocFixture(t *testing.T)       { checkFixture(t, "hotalloc") }
+
+// TestSuppressionDirectives asserts the three directive outcomes: a
+// reasoned suppression silences its diagnostic, a reasonless directive
+// is itself a build-failing driver diagnostic (and suppresses nothing),
+// and an unknown analyzer name is reported rather than ignored.
+func TestSuppressionDirectives(t *testing.T) {
+	pkg := fixturePackage(t, "suppress")
+	diags := Run([]*Package{pkg}, All())
+
+	var drivers, wallclocks []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "driver":
+			drivers = append(drivers, d)
+		case DetWallClock.Name:
+			wallclocks = append(wallclocks, d)
+		default:
+			t.Errorf("unexpected analyzer in %s", d)
+		}
+	}
+	if len(drivers) != 2 || len(wallclocks) != 2 {
+		t.Fatalf("got %d driver + %d detwallclock diagnostics, want 2 + 2:\n%s",
+			len(drivers), len(wallclocks), renderDiags(diags))
+	}
+	if !strings.Contains(drivers[0].Message, "without a reason") {
+		t.Errorf("first driver diagnostic should flag the missing reason: %s", drivers[0])
+	}
+	if !strings.Contains(drivers[1].Message, `unknown analyzer "detwalllclock"`) {
+		t.Errorf("second driver diagnostic should flag the unknown analyzer: %s", drivers[1])
+	}
+	// The justified suppression is the first time.Now in the file; both
+	// surviving wall-clock diagnostics must come after it.
+	justifiedLine := fixtureLine(t, pkg, "func Justified")
+	for _, d := range wallclocks {
+		if d.Pos.Line <= justifiedLine+1 {
+			t.Errorf("diagnostic survived inside the justified suppression: %s", d)
+		}
+	}
+}
+
+// fixtureLine locates the first line containing substr in the (single)
+// fixture file, so assertions don't hardcode line numbers.
+func fixtureLine(t *testing.T, pkg *Package, substr string) int {
+	t.Helper()
+	for _, f := range pkg.Files {
+		var found int
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if ok && found == 0 && strings.Contains("func "+fd.Name.Name, substr) {
+				found = pkg.Fset.Position(fd.Pos()).Line
+			}
+			return found == 0
+		})
+		if found != 0 {
+			return found
+		}
+	}
+	t.Fatalf("fixture line %q not found", substr)
+	return 0
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// TestDiagnosticFormat pins the shared file:line:col: [analyzer] format
+// the Makefile and editors rely on.
+func TestDiagnosticFormat(t *testing.T) {
+	pkg := fixturePackage(t, "wallclock")
+	diags := Run([]*Package{pkg}, []*Analyzer{DetWallClock})
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics from the wallclock fixture")
+	}
+	format := regexp.MustCompile(`^.+/wallclock\.go:\d+:\d+: \[detwallclock\] .+$`)
+	for _, d := range diags {
+		if !format.MatchString(d.String()) {
+			t.Errorf("diagnostic %q does not match file:line:col: [analyzer] message", d.String())
+		}
+	}
+}
+
+// TestRepoClean is the driver test the CI gate rests on: the real
+// module, loaded exactly as `make lint` loads it, must produce zero
+// diagnostics. Running from the module root also proves Load handles
+// the full package graph, annotations and in-tree suppressions.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	if diags := Run(pkgs, All()); len(diags) != 0 {
+		t.Errorf("repository is not lint-clean:\n%s", renderDiags(diags))
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one type-checked package under analysis. Only non-test
+// files are loaded (GoFiles as reported by `go list`): the determinism
+// and hot-path rules deliberately do not apply to tests, which are free
+// to use wall clocks and global randomness.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// importerMap resolves imports against already-checked packages. `go
+// list -deps` emits dependencies before dependents, so by the time a
+// package is checked every import is present.
+type importerMap map[string]*types.Package
+
+func (m importerMap) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not loaded", path)
+}
+
+// Load enumerates patterns with `go list -json -deps` executed in dir
+// and type-checks every listed package from source, standard library
+// included, using only the standard library itself — no external
+// analysis framework and no network. It returns the non-standard
+// (module-local) packages, fully type-checked, in dependency order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("lint: go list: %s", bytes.TrimSpace(ee.Stderr))
+		}
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+
+	var list []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		list = append(list, lp)
+	}
+
+	fset := token.NewFileSet()
+	checked := importerMap{}
+	conf := types.Config{
+		Importer: checked,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	var pkgs []*Package
+	for _, lp := range list {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.ImportPath == "unsafe" {
+			continue // predeclared, nothing to check
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", lp.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		// Analyzers need full use/def/type information for module
+		// packages; dependency packages only need their exported API.
+		var info *types.Info
+		if !lp.Standard {
+			info = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+		}
+		checked[lp.ImportPath] = tpkg
+		if lp.Standard {
+			continue
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags `for range` over a map where iteration order can leak
+// into results: everywhere in the deterministic packages, and in any
+// function that writes to an io.Writer or builds a string (the
+// renderers — Go randomizes map order per iteration, so unordered
+// ranging there makes output differ between runs even on identical
+// results).
+//
+// Two shapes are recognized as safe and not flagged:
+//
+//   - collect-then-sort: a loop whose body only appends to a slice
+//     (`keys = append(keys, k)`), the standard prelude to sorting;
+//   - commutative accumulation: bodies made only of order-free updates
+//     (x += v, counters, writes to distinct map slots, delete).
+//
+// Anything else needs either restructuring or an explicit
+// //ghrplint:commutative <reason> annotation on the loop.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag nondeterministic map iteration in deterministic packages and renderers",
+	Run: func(pass *Pass) {
+		det := deterministic(pass.Pkg)
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !det && !rendersOutput(pass, fd) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					tv, ok := pass.Pkg.Info.Types[rs.X]
+					if !ok {
+						return true
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					if orderInsensitiveBlock(pass, rs.Body) {
+						return true
+					}
+					pass.Reportf(rs.For,
+						"range over map %s has nondeterministic order; sort the keys first or annotate the loop //ghrplint:commutative <why>",
+						types.ExprString(rs.X))
+					return true
+				})
+			}
+		}
+	},
+}
+
+// rendersOutput reports whether fn produces ordered output: it returns
+// a string, touches an io.Writer / strings.Builder / bytes.Buffer, or
+// calls a fmt printing function.
+func rendersOutput(pass *Pass, fd *ast.FuncDecl) bool {
+	if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		sig := obj.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			if isString(sig.Results().At(i).Type()) {
+				return true
+			}
+		}
+	}
+	renders := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if renders {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if tv, ok := pass.Pkg.Info.Types[e.(ast.Expr)]; ok && isRenderSink(tv.Type) {
+				renders = true
+			}
+		case *ast.CallExpr:
+			if fn := calledFunc(pass, e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				name := fn.Name()
+				if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+					strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Append") {
+					renders = true
+				}
+			}
+		}
+		return !renders
+	})
+	return renders
+}
+
+// calledFunc resolves a call's static callee, or nil for builtins,
+// conversions and indirect calls through function values.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isRenderSink matches the types whose presence marks a function as a
+// renderer: io.Writer, strings.Builder and bytes.Buffer (pointers
+// included).
+func isRenderSink(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "io.Writer", "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// orderInsensitiveBlock reports whether every statement in the block is
+// one whose cumulative effect does not depend on iteration order.
+func orderInsensitiveBlock(pass *Pass, b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !orderInsensitiveStmt(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return true // commutative accumulation
+		case token.DEFINE:
+			return true // fresh per-iteration locals
+		case token.ASSIGN:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			// keys = append(keys, ...): the collect-then-sort prelude.
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+				if len(call.Args) > 0 && types.ExprString(call.Args[0]) == types.ExprString(s.Lhs[0]) {
+					return true
+				}
+			}
+			// m2[k] = v: each key writes its own slot.
+			if _, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+				return true
+			}
+			return false
+		}
+		return false
+	case *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && isBuiltin(pass, call, "delete")
+	case *ast.IfStmt:
+		if s.Init != nil && !orderInsensitiveStmt(pass, s.Init) {
+			return false
+		}
+		if !orderInsensitiveBlock(pass, s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			return orderInsensitiveStmt(pass, s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return orderInsensitiveBlock(pass, s)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+// isBuiltin reports whether call invokes the named predeclared builtin.
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,107 @@
+// Package hot exercises the hotalloc analyzer: annotated functions and
+// their direct same-package callees must be allocation-free.
+package hot
+
+import "fmt"
+
+type item struct{ k, v uint64 }
+
+type ring struct {
+	buf     []item
+	scratch []uint64
+	hits    uint64
+}
+
+// Step is annotated, so every allocating construct in it is flagged;
+// the marker is detected at the end of a multi-line doc comment.
+//
+//ghrp:hotpath
+func (r *ring) Step(k, v uint64) {
+	r.buf = append(r.buf, item{k, v}) // want `append may grow its backing array`
+	m := make([]uint64, 4)            // want `make allocates`
+	m[0] = k
+	_ = fmt.Sprintf("%d", v) // want `fmt\.Sprintf allocates` `passing uint64 as interface`
+	r.helper(k)
+}
+
+// helper is one static call away from Step: analyzed, with the
+// diagnostics naming the annotated root.
+func (r *ring) helper(k uint64) {
+	_ = fmt.Sprint(k) // want `fmt\.Sprint allocates \(formatting boxes its operands\) \(on the //ghrp:hotpath path via Step\)` `passing uint64 as interface`
+	r.deep(k)
+}
+
+// deep is two calls away from any annotation: the one-level rule stops
+// before it, so its allocation is not reported.
+func (r *ring) deep(k uint64) {
+	p := new(item)
+	p.k = k
+}
+
+// StepClean resets its buffer before appending — the reuse idiom the
+// analyzer recognizes — and produces no diagnostics.
+//
+//ghrp:hotpath
+func (r *ring) StepClean(k, v uint64) {
+	r.scratch = r.scratch[:0]
+	r.scratch = append(r.scratch, k, v)
+	r.hits++
+}
+
+// Fill appends into a caller-provided buffer: sizing is the caller's
+// contract, so this is clean.
+//
+//ghrp:hotpath
+func Fill(dst []uint64, k uint64) []uint64 {
+	return append(dst, k)
+}
+
+// Mix exercises the string rules.
+//
+//ghrp:hotpath
+func Mix(a, b string, bs []byte) string {
+	f := func() string { return a } // want `closure allocates`
+	_ = string(bs)                  // want `conversion copies and allocates`
+	c := a + b                      // want `string concatenation allocates`
+	_ = f()
+	return c
+}
+
+type boxer interface{ m() }
+
+type fat struct{ x [4]uint64 }
+
+func (fat) m() {}
+
+// consume is a direct callee of Box; its interface-dispatched call is
+// itself clean.
+func consume(b boxer) { b.m() }
+
+var sink any
+
+// Box passes and assigns a by-value struct into interfaces: both box.
+//
+//ghrp:hotpath
+func Box(f fat) {
+	consume(f) // want `passing .*fat as interface .*boxer boxes it on the heap`
+	sink = f   // want `assigning .*fat to interface any boxes it on the heap`
+}
+
+// Escape returns a pointer to a fresh composite literal.
+//
+//ghrp:hotpath
+func Escape(k uint64) *item {
+	return &item{k, k} // want `&composite literal escapes to the heap`
+}
+
+// Lit allocates a slice literal's backing array.
+//
+//ghrp:hotpath
+func Lit() uint64 {
+	xs := []uint64{1, 2, 3} // want `slice literal allocates`
+	return xs[0]
+}
+
+// NotHot has no annotation and is called by nothing annotated: its
+// allocations are out of scope.
+func NotHot() []uint64 { return make([]uint64, 16) }

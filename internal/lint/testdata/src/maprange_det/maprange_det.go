@@ -1,0 +1,54 @@
+// Package cache (by name) stands in for the deterministic packages,
+// where every map range is in maprange's scope.
+package cache
+
+import "sort"
+
+// First leaks iteration order through an early return.
+func First(m map[string]int) (string, int) {
+	for k, v := range m { // want `nondeterministic order`
+		return k, v
+	}
+	return "", 0
+}
+
+// Keys collects then sorts: the canonical allowed shape.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Total accumulates commutatively: allowed without annotation.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+
+// Invert writes each entry to its own slot: allowed.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Annotated is order-free for a reason the analyzer cannot see; the
+// commutative annotation (with its mandatory reason) accepts it.
+func Annotated(m map[string]int, counts map[string]int) {
+	//ghrplint:commutative every key bumps its own slot via the helper
+	for k := range m {
+		bump(counts, k)
+	}
+}
+
+func bump(counts map[string]int, k string) { counts[k]++ }

@@ -1,0 +1,49 @@
+// Package render exercises maprange's renderer scope: the package name
+// is not deterministic, so only functions that write to an io.Writer or
+// build a string are covered.
+package render
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report writes to an io.Writer: in scope, unordered range flagged.
+func Report(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `nondeterministic order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Join builds a string: in scope.
+func Join(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `nondeterministic order`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Sorted collects, sorts, then renders: clean.
+func Sorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Opaque neither writes nor builds a string: out of scope even though
+// its loop body is order-sensitive.
+func Opaque(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v
+	}
+	return last
+}

@@ -1,0 +1,24 @@
+// Package randglobal exercises detrand, which applies to every
+// non-test package regardless of name.
+package randglobal
+
+import "math/rand"
+
+// Roll draws from the process-global source.
+func Roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from process-global`
+}
+
+// Reseed seeds the global source.
+func Reseed() { rand.Seed(42) } // want `math/rand\.Seed draws from process-global`
+
+// Shuffled permutes through the global source.
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle draws from process-global`
+}
+
+// Seeded threads an explicitly seeded generator: legal, including the
+// methods on the returned *rand.Rand.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}

@@ -1,0 +1,27 @@
+// Package resultcache (by name) stands in for a deterministic package;
+// this fixture exercises the suppression directive, including its
+// failure modes. TestSuppressionDirectives asserts the exact outcome
+// instead of using want comments, because the directives occupy the
+// comment positions.
+package resultcache
+
+import "time"
+
+// Justified carries a reason: fully suppressed.
+func Justified() int64 {
+	return time.Now().UnixNano() //ghrplint:ignore detwallclock fixture: demonstrating a justified suppression
+}
+
+// MissingReason's directive has no reason: the driver reports the bare
+// directive and the wall-clock diagnostic still fires.
+func MissingReason() int64 {
+	//ghrplint:ignore detwallclock
+	return time.Now().UnixNano()
+}
+
+// Typo names an unknown analyzer: the driver reports it and the
+// wall-clock diagnostic still fires.
+func Typo() int64 {
+	//ghrplint:ignore detwalllclock suppressing a misspelled analyzer does nothing
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,24 @@
+// Package trace (by name) stands in for the deterministic replay
+// packages: wall-clock reads are forbidden here.
+package trace
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// Nap sleeps, which also depends on real time.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// Age measures elapsed wall time.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// Span does pure time arithmetic, which stays legal: the rule is about
+// reading the clock, not about the time types.
+func Span(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,12 @@
+// Package sim (by name) is allowlisted by omission from the
+// deterministic set: measuring wall-clock time is its job, so none of
+// these produce diagnostics.
+package sim
+
+import "time"
+
+// Stamp is legal here.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Wait is legal here.
+func Wait() { time.Sleep(time.Millisecond) }

@@ -159,6 +159,8 @@ func (p *Predictor) index(t int, pc uint64) uint64 {
 }
 
 // Predict returns the predicted direction for a conditional branch at pc.
+//
+//ghrp:hotpath
 func (p *Predictor) Predict(pc uint64) Outcome {
 	var o Outcome
 	for t := range p.tables {
@@ -172,6 +174,8 @@ func (p *Predictor) Predict(pc uint64) Outcome {
 // Update trains the predictor with the actual outcome of the branch
 // predicted by o, then advances the global and path histories. Call
 // exactly once per Predict, in program order.
+//
+//ghrp:hotpath
 func (p *Predictor) Update(o Outcome, pc uint64, taken bool) {
 	p.stats.Predictions++
 	mispredicted := o.Taken != taken
