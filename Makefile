@@ -57,17 +57,19 @@ fuzz-smoke:
 golden-update:
 	$(GO) test -run TestGolden -update ./internal/sim/
 
-# bench regenerates BENCH_PR4.json: the fused fan-out replay measured
-# against the per-policy baseline on a sizeable suite under the full
-# eight-policy roster (the tool asserts the two paths are bit-identical
-# before reporting; the speedup grows with roster size because policies
-# add lane work, not executor passes). bench-smoke runs the same
-# comparison on a tiny suite to stdout only, so CI exercises the
-# benchmark harness without overwriting the committed numbers.
+# bench regenerates BENCH_PR6.json: the fused fan-out replay measured
+# against the per-policy baseline across the full roster x parallelism
+# x workload-length matrix, best-of-3 per phase (the tool asserts the
+# two paths are bit-identical before reporting; the speedup grows with
+# roster size because policies add lane work, not executor passes).
+# bench-smoke runs the same comparison on a tiny suite to stdout only —
+# including one matrix/repeat pass — so CI exercises the harness
+# without overwriting the committed numbers.
 bench:
-	$(GO) run ./cmd/bench -n 24 -scale 0.3 -extended -out BENCH_PR4.json
+	$(GO) run ./cmd/bench -n 24 -scale 0.3 -repeat 3 -matrix -out BENCH_PR6.json
 
 bench-smoke:
-	$(GO) run ./cmd/bench -n 2 -scale 0.02
+	$(GO) run ./cmd/bench -n 2 -scale 0.02 -repeat 2
+	$(GO) run ./cmd/bench -n 2 -scale 0.015 -matrix
 
 ci: build vet lint test race-smoke fuzz-smoke bench-smoke

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/workload"
+)
+
+// smoke runs the whole harness in-process on a tiny suite and decodes
+// the report.
+func smoke(t *testing.T, o options) report {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	return rep
+}
+
+// TestBenchSmoke drives the full harness at parallelism 1 and 4 (the
+// latter splits lane replay inside each fused task on a 2-workload
+// suite) and checks the report's internal consistency: both replay
+// phases must deliver the same record total, and every throughput
+// number must be finite and positive.
+func TestBenchSmoke(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		o := options{N: 2, Scale: 0.02, Parallel: parallel, Extended: true, Repeat: 2}
+		rep := smoke(t, o)
+		if rep.Parallelism != parallel {
+			t.Errorf("parallel=%d: report says parallelism %d", parallel, rep.Parallelism)
+		}
+		if rep.Repeat != 2 {
+			t.Errorf("parallel=%d: report says repeat %d, want 2", parallel, rep.Repeat)
+		}
+		if rep.Baseline.PolicyRecords == 0 {
+			t.Errorf("parallel=%d: baseline delivered zero policy records", parallel)
+		}
+		if rep.Baseline.PolicyRecords != rep.Fused.PolicyRecords {
+			t.Errorf("parallel=%d: baseline delivered %d policy records, fused %d",
+				parallel, rep.Baseline.PolicyRecords, rep.Fused.PolicyRecords)
+		}
+		if len(rep.Policies) == 0 {
+			t.Errorf("parallel=%d: report lists no policies", parallel)
+		}
+		for name, ph := range map[string]phaseReport{
+			"counting": rep.Counting, "baseline": rep.Baseline, "fused": rep.Fused,
+		} {
+			if !(ph.RecordsPerSec > 0) || ph.RecordsPerSec != ph.RecordsPerSec {
+				t.Errorf("parallel=%d: %s records_per_sec = %v, want finite positive",
+					parallel, name, ph.RecordsPerSec)
+			}
+		}
+		if !(rep.Speedup > 0) {
+			t.Errorf("parallel=%d: speedup = %v, want positive", parallel, rep.Speedup)
+		}
+	}
+}
+
+// TestBenchFlagValidation covers the harness's input checks: each bad
+// flag combination must fail up front with a diagnostic, not produce a
+// vacuous or NaN-laden report.
+func TestBenchFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		o    options
+		want string
+	}{
+		{"zero workloads", options{N: 0, Scale: 0.02, Repeat: 1}, "-n"},
+		{"negative workloads", options{N: -3, Scale: 0.02, Repeat: 1}, "-n"},
+		{"zero scale", options{N: 2, Scale: 0, Repeat: 1}, "-scale"},
+		{"negative scale", options{N: 2, Scale: -1, Repeat: 1}, "-scale"},
+		{"negative parallel", options{N: 2, Scale: 0.02, Parallel: -1, Repeat: 1}, "-parallel"},
+		{"zero repeat", options{N: 2, Scale: 0.02, Repeat: 0}, "-repeat"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.o, &bytes.Buffer{})
+			if err == nil {
+				t.Fatal("bad options accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not name the offending flag %s", err, c.want)
+			}
+		})
+	}
+}
+
+// TestBenchTinyScaleRejected checks the zero-instruction-target guard:
+// a scale small enough to truncate some workload's budget to zero must
+// be rejected by name rather than benching an empty replay.
+func TestBenchTinyScaleRejected(t *testing.T) {
+	err := run(options{N: 2, Scale: 1e-9, Repeat: 1}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "zero instruction target") {
+		t.Fatalf("got %v, want a zero-instruction-target error", err)
+	}
+}
+
+// TestVerifyIdenticalCatchesDivergence checks the bit-identity gate the
+// harness applies before reporting: a single perturbed statistic in one
+// fused cell must fail verification (and so exit the binary nonzero).
+func TestVerifyIdenticalCatchesDivergence(t *testing.T) {
+	specs := workload.SuiteN(2)
+	kinds := frontend.ExtendedPolicies()
+	mk := func() [][]frontend.Result {
+		out := make([][]frontend.Result, len(specs))
+		for wi := range out {
+			out[wi] = make([]frontend.Result, len(kinds))
+			for pi := range out[wi] {
+				out[wi][pi] = frontend.Result{Policy: kinds[pi], Records: 100}
+			}
+		}
+		return out
+	}
+	base, fused := mk(), mk()
+	if err := verifyIdentical(specs, kinds, base, fused); err != nil {
+		t.Fatalf("identical results rejected: %v", err)
+	}
+	fused[1][2].ICache.Hits++
+	if err := verifyIdentical(specs, kinds, base, fused); err == nil {
+		t.Fatal("diverged results passed verification")
+	}
+	short := mk()[:1]
+	if err := verifyIdentical(specs, kinds, base, short); err == nil {
+		t.Fatal("truncated results passed verification")
+	}
+	ragged := mk()
+	ragged[0] = ragged[0][:len(kinds)-1]
+	if err := verifyIdentical(specs, kinds, base, ragged); err == nil {
+		t.Fatal("ragged results passed verification")
+	}
+}

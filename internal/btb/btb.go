@@ -7,24 +7,20 @@
 //
 // The BTB uses modulo indexing at instruction granularity, so branches in
 // the same I-cache block map to distinct BTB sets (§III-E, reason 3).
+//
+// Like the I-cache model, the BTB is laid out structure-of-arrays: the
+// per-access scan reads a contiguous branch-PC array plus one validity
+// bitmask word per set; targets and efficiency bookkeeping live in
+// separate arrays off the scan path. Hot arrays can be carved from a
+// shared cache.Arena so a fan-out's lanes share one slab.
 package btb
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ghrpsim/internal/cache"
 )
-
-// entry is one BTB entry: the branch address it caches a target for.
-type entry struct {
-	pc     uint64
-	target uint64
-	valid  bool
-	// efficiency bookkeeping, mirroring cache frames
-	insertAt  uint64
-	lastUseAt uint64
-	liveTime  uint64
-}
 
 // Stats aggregates BTB outcomes. Misses are what the paper's BTB MPKI
 // counts: taken branches whose target was absent.
@@ -45,47 +41,84 @@ func (s Stats) MPKI(instructions uint64) float64 {
 	return float64(s.Misses) * 1000 / float64(instructions)
 }
 
+// effTimes is one entry's efficiency bookkeeping, mirroring the cache's.
+type effTimes struct {
+	insertAt  uint64
+	lastUseAt uint64
+	liveTime  uint64
+}
+
 // BTB is a set-associative branch target buffer.
 type BTB struct {
 	sets       int
 	ways       int
 	instrShift uint
-	entries    []entry
-	policy     cache.Policy
-	stats      Stats
-	now        uint64
-	warmup     bool
-	born       bool
-	birth      uint64
+	// Hot state: branch PCs in set-major order, the matching targets,
+	// and one validity bitmask word per set. All three may be carved
+	// from a shared cache.Arena.
+	pcs     []uint64
+	targets []uint64
+	valid   []uint64
+	// Cold state: efficiency bookkeeping, indexed like pcs.
+	eff    []effTimes
+	policy cache.Policy
+	stats  Stats
+	now    uint64
+	warmup bool
+	born   bool
+	birth  uint64
 }
+
+// HotWords returns how many uint64 words of hot state (PCs, targets and
+// validity masks) a BTB with this geometry carves from a cache.Arena.
+func HotWords(sets, ways int) int { return 2*sets*ways + sets }
 
 // New builds a BTB with entries = sets x ways. sets must be a power of
 // two. instrBytes sets the modulo-indexing granularity (typically 4).
 func New(sets, ways int, instrBytes uint64, p cache.Policy) (*BTB, error) {
-	if sets <= 0 || sets&(sets-1) != 0 {
-		return nil, fmt.Errorf("btb: sets %d must be a positive power of two", sets)
+	return NewInArena(sets, ways, instrBytes, p, nil)
+}
+
+// NewInArena is New with the hot arrays carved from ar; a nil arena
+// allocates privately.
+func NewInArena(sets, ways int, instrBytes uint64, p cache.Policy, ar *cache.Arena) (*BTB, error) {
+	b := new(BTB)
+	if err := b.Init(sets, ways, instrBytes, p, ar); err != nil {
+		return nil, err
 	}
-	if ways <= 0 {
-		return nil, fmt.Errorf("btb: ways %d must be positive", ways)
+	return b, nil
+}
+
+// Init initializes b in place, carving hot arrays from ar when non-nil.
+func (b *BTB) Init(sets, ways int, instrBytes uint64, p cache.Policy, ar *cache.Arena) error {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("btb: sets %d must be a positive power of two", sets)
+	}
+	if ways <= 0 || ways > cache.MaxWays {
+		return fmt.Errorf("btb: ways %d out of range [1,%d]", ways, cache.MaxWays)
 	}
 	if instrBytes == 0 || instrBytes&(instrBytes-1) != 0 {
-		return nil, fmt.Errorf("btb: instrBytes %d must be a power of two", instrBytes)
+		return fmt.Errorf("btb: instrBytes %d must be a power of two", instrBytes)
 	}
 	if p == nil {
-		return nil, fmt.Errorf("btb: nil policy")
+		return fmt.Errorf("btb: nil policy")
 	}
 	shift := uint(0)
-	for b := instrBytes; b > 1; b >>= 1 {
+	for v := instrBytes; v > 1; v >>= 1 {
 		shift++
 	}
 	p.Attach(sets, ways)
-	return &BTB{
+	*b = BTB{
 		sets:       sets,
 		ways:       ways,
 		instrShift: shift,
-		entries:    make([]entry, sets*ways),
+		pcs:        cache.ArenaWords(ar, sets*ways),
+		targets:    cache.ArenaWords(ar, sets*ways),
+		valid:      cache.ArenaWords(ar, sets),
+		eff:        make([]effTimes, sets*ways),
 		policy:     p,
-	}, nil
+	}
+	return nil
 }
 
 // Sets returns the number of sets.
@@ -106,6 +139,20 @@ func (b *BTB) SetWarmup(on bool) { b.warmup = on }
 // Stats returns a copy of the accumulated statistics.
 func (b *BTB) Stats() Stats { return b.stats }
 
+// SetEffTracking enables or disables per-entry efficiency bookkeeping.
+// It is on by default; callers that never read Efficiency (the fused
+// fan-out lanes) disable it to drop one cold-array write per access.
+// Disabling discards any accumulated times; Efficiency then reports
+// zeros. Replacement decisions and statistics are unaffected.
+func (b *BTB) SetEffTracking(on bool) {
+	switch {
+	case on && b.eff == nil:
+		b.eff = make([]effTimes, b.sets*b.ways)
+	case !on:
+		b.eff = nil
+	}
+}
+
 // setIndex maps a branch PC to its set by modulo indexing at instruction
 // granularity.
 func (b *BTB) setIndex(pc uint64) int {
@@ -120,10 +167,11 @@ func (b *BTB) key(pc uint64) uint64 { return pc >> b.instrShift }
 // without modifying any state.
 func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 	set := b.setIndex(pc)
-	for w := 0; w < b.ways; w++ {
-		e := &b.entries[set*b.ways+w]
-		if e.valid && e.pc == pc {
-			return e.target, true
+	base := set * b.ways
+	for m := b.valid[set]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if b.pcs[base+w] == pc {
+			return b.targets[base+w], true
 		}
 	}
 	return 0, false
@@ -134,8 +182,21 @@ func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 // target change is counted, as for indirect branches); on a miss a new
 // entry is allocated unless the policy bypasses it. Returns whether the
 // access hit.
+//
 //ghrp:hotpath
 func (b *BTB) Access(pc, target uint64) (hit bool) {
+	return AccessWith(b, b.policy, pc, target)
+}
+
+// AccessWith is Access with the replacement policy supplied as a type
+// parameter, mirroring cache.AccessWith: concrete instantiations bind
+// the policy callbacks statically for the fan-out's specialized lanes,
+// while the interface-typed instantiation backs the plain Access
+// method. Scan order and free-way choice are bit-identical to the
+// historical entry walk.
+//
+//ghrp:hotpath
+func AccessWith[P cache.Policy](b *BTB, p P, pc, target uint64) (hit bool) {
 	set := b.setIndex(pc)
 	a := cache.Access{Block: b.key(pc), PC: pc, Set: set}
 	b.now++
@@ -147,76 +208,88 @@ func (b *BTB) Access(pc, target uint64) (hit bool) {
 		b.stats.Accesses++
 	}
 
-	free := -1
-	for w := 0; w < b.ways; w++ {
-		e := &b.entries[set*b.ways+w]
-		if e.valid && e.pc == pc {
+	base := set * b.ways
+	vm := b.valid[set]
+	for m := vm; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if b.pcs[base+w] == pc {
 			if !b.warmup {
 				b.stats.Hits++
-				if e.target != target {
+				if b.targets[base+w] != target {
 					b.stats.TargetMismatches++
 				}
 			}
-			e.target = target
-			e.lastUseAt = b.now
-			b.policy.OnHit(a, w)
+			b.targets[base+w] = target
+			if b.eff != nil {
+				b.eff[base+w].lastUseAt = b.now
+			}
+			p.OnHit(a, w)
 			return true
-		}
-		if !e.valid && free == -1 {
-			free = w
 		}
 	}
 
 	if !b.warmup {
 		b.stats.Misses++
 	}
-	if free >= 0 {
-		if b.policy.MayBypass(a) {
+	if free := bits.TrailingZeros64(^vm); free < b.ways {
+		if p.MayBypass(a) {
 			if !b.warmup {
 				b.stats.Bypasses++
 			}
-			b.policy.OnBypass(a)
+			p.OnBypass(a)
 			return false
 		}
-		b.install(a, free, pc, target)
+		installWith(b, p, a, free, pc, target)
 		return false
 	}
-	way, bypass := b.policy.Victim(a)
+	way, bypass := p.Victim(a)
 	if bypass {
 		if !b.warmup {
 			b.stats.Bypasses++
 		}
-		b.policy.OnBypass(a)
+		p.OnBypass(a)
 		return false
 	}
 	if way < 0 || way >= b.ways {
 		//ghrplint:ignore hotalloc cold invariant-violation path; fires only on a buggy policy, never in a clean replay
-		panic(fmt.Sprintf("btb: policy %s returned way %d of %d", b.policy.Name(), way, b.ways))
+		panic(fmt.Sprintf("btb: policy %s returned way %d of %d", p.Name(), way, b.ways))
 	}
-	e := &b.entries[set*b.ways+way]
 	if !b.warmup {
 		b.stats.Evictions++
 	}
-	e.liveTime += e.lastUseAt - e.insertAt
-	b.policy.OnEvict(a, way, b.key(e.pc))
-	b.install(a, way, pc, target)
+	if b.eff != nil {
+		e := &b.eff[base+way]
+		e.liveTime += e.lastUseAt - e.insertAt
+	}
+	p.OnEvict(a, way, b.key(b.pcs[base+way]))
+	installWith(b, p, a, way, pc, target)
 	return false
 }
 
-func (b *BTB) install(a cache.Access, way int, pc, target uint64) {
-	e := &b.entries[a.Set*b.ways+way]
-	e.pc = pc
-	e.target = target
-	e.valid = true
-	e.insertAt = b.now
-	e.lastUseAt = b.now
-	b.policy.OnInsert(a, way)
+//ghrp:hotpath
+func installWith[P cache.Policy](b *BTB, p P, a cache.Access, way int, pc, target uint64) {
+	i := a.Set*b.ways + way
+	b.pcs[i] = pc
+	b.targets[i] = target
+	b.valid[a.Set] |= 1 << uint(way)
+	if b.eff != nil {
+		b.eff[i].insertAt = b.now
+		b.eff[i].lastUseAt = b.now
+	}
+	p.OnInsert(a, way)
 }
 
 // Efficiency returns the per-entry live-time fraction matrix (sets x
-// ways), used for the Fig. 5 heat map.
+// ways), used for the Fig. 5 heat map. All zeros when tracking is
+// disabled (SetEffTracking).
 func (b *BTB) Efficiency() [][]float64 {
 	out := make([][]float64, b.sets)
+	if b.eff == nil {
+		for s := range out {
+			out[s] = make([]float64, b.ways)
+		}
+		return out
+	}
 	elapsed := float64(0)
 	if b.born && b.now > b.birth {
 		elapsed = float64(b.now - b.birth)
@@ -224,9 +297,9 @@ func (b *BTB) Efficiency() [][]float64 {
 	for s := 0; s < b.sets; s++ {
 		row := make([]float64, b.ways)
 		for w := 0; w < b.ways; w++ {
-			e := &b.entries[s*b.ways+w]
+			e := &b.eff[s*b.ways+w]
 			live := e.liveTime
-			if e.valid {
+			if b.valid[s]&(1<<uint(w)) != 0 {
 				live += e.lastUseAt - e.insertAt
 			}
 			if elapsed > 0 {
@@ -243,8 +316,15 @@ func (b *BTB) Efficiency() [][]float64 {
 
 // Reset clears contents, statistics, and policy state.
 func (b *BTB) Reset() {
-	for i := range b.entries {
-		b.entries[i] = entry{}
+	for i := range b.pcs {
+		b.pcs[i] = 0
+		b.targets[i] = 0
+	}
+	for i := range b.valid {
+		b.valid[i] = 0
+	}
+	for i := range b.eff {
+		b.eff[i] = effTimes{}
 	}
 	b.stats = Stats{}
 	b.now = 0

@@ -6,9 +6,20 @@
 // The cache is tag-only: it models presence, not contents. Addresses are
 // block numbers (byte address >> log2(blockBytes)); callers decide the
 // granularity.
+//
+// Internally the cache is laid out structure-of-arrays: the per-access
+// tag scan touches only a contiguous []uint64 tag array plus one
+// per-set validity bitmask word, while the efficiency bookkeeping
+// (insert/last-use/live times, written at most once per access) lives
+// in a separate cold array. Many caches can carve their hot arrays from
+// one shared Arena so that, for example, a fan-out's N policy lanes
+// keep their set/way state in a single contiguous slab.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Access carries the context of one cache access to the replacement
 // policy. Block is the block number being accessed; PC is the address of
@@ -81,21 +92,31 @@ func (s Stats) MPKI(instructions uint64) float64 {
 	return float64(s.Misses) * 1000 / float64(instructions)
 }
 
-type frame struct {
-	tag   uint64
-	valid bool
-	// efficiency bookkeeping (generation = residency of one block)
+// effTimes is one frame's efficiency bookkeeping (generation = residency
+// of one block). It is deliberately separate from the tag array: the
+// per-access tag scan never touches it, only hits (one word) and
+// insertions/evictions do.
+type effTimes struct {
 	insertAt  uint64
 	lastUseAt uint64
 	liveTime  uint64 // accumulated live time of completed generations
-	genStart  uint64 // time the current generation began
 }
+
+// MaxWays bounds associativity so each set's validity fits one bitmask
+// word.
+const MaxWays = 64
 
 // Cache is a set-associative, tag-only cache.
 type Cache struct {
-	sets   int
-	ways   int
-	frames []frame
+	sets int
+	ways int
+	// Hot state, scanned once per access: block tags in set-major order
+	// and one validity bitmask word per set (bit w = way w holds a
+	// block). Both may be carved from a shared Arena.
+	tags  []uint64
+	valid []uint64
+	// Cold state: efficiency bookkeeping, indexed like tags.
+	eff    []effTimes
 	policy Policy
 	stats  Stats
 	now    uint64 // logical time: one tick per access
@@ -104,25 +125,49 @@ type Cache struct {
 	born   bool
 }
 
+// HotWords returns how many uint64 words of hot state (tags plus
+// validity masks) a cache with this geometry carves from an Arena.
+func HotWords(sets, ways int) int { return sets*ways + sets }
+
 // New builds a cache with the given geometry and policy. sets must be a
-// power of two.
+// power of two; ways is capped at MaxWays.
 func New(sets, ways int, p Policy) (*Cache, error) {
-	if sets <= 0 || sets&(sets-1) != 0 {
-		return nil, fmt.Errorf("cache: sets %d must be a positive power of two", sets)
+	return NewInArena(sets, ways, p, nil)
+}
+
+// NewInArena is New with the hot tag and validity arrays carved from
+// ar, so several caches built from one arena keep their per-access
+// state in a single contiguous slab. A nil arena allocates privately.
+func NewInArena(sets, ways int, p Policy, ar *Arena) (*Cache, error) {
+	c := new(Cache)
+	if err := c.Init(sets, ways, p, ar); err != nil {
+		return nil, err
 	}
-	if ways <= 0 {
-		return nil, fmt.Errorf("cache: ways %d must be positive", ways)
+	return c, nil
+}
+
+// Init initializes c in place (so callers can lay cache headers out
+// contiguously themselves), carving hot arrays from ar when non-nil.
+func (c *Cache) Init(sets, ways int, p Policy, ar *Arena) error {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: sets %d must be a positive power of two", sets)
+	}
+	if ways <= 0 || ways > MaxWays {
+		return fmt.Errorf("cache: ways %d out of range [1,%d]", ways, MaxWays)
 	}
 	if p == nil {
-		return nil, fmt.Errorf("cache: nil policy")
+		return fmt.Errorf("cache: nil policy")
 	}
 	p.Attach(sets, ways)
-	return &Cache{
+	*c = Cache{
 		sets:   sets,
 		ways:   ways,
-		frames: make([]frame, sets*ways),
+		tags:   ar.take(sets * ways),
+		valid:  ar.take(sets),
+		eff:    make([]effTimes, sets*ways),
 		policy: p,
-	}, nil
+	}
+	return nil
 }
 
 // Sets returns the number of sets.
@@ -137,19 +182,34 @@ func (c *Cache) Policy() Policy { return c.policy }
 // SetWarmup toggles warm-up mode: state changes but statistics freeze.
 func (c *Cache) SetWarmup(on bool) { c.warmup = on }
 
+// SetEffTracking enables or disables per-frame efficiency bookkeeping.
+// It is on by default; callers that never read Efficiency (the fused
+// fan-out lanes) disable it to drop one cold-array write per access.
+// Disabling discards any accumulated times; Efficiency then reports
+// zeros. Replacement decisions and statistics are unaffected.
+func (c *Cache) SetEffTracking(on bool) {
+	switch {
+	case on && c.eff == nil:
+		c.eff = make([]effTimes, c.sets*c.ways)
+	case !on:
+		c.eff = nil
+	}
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }
 
 // SetIndex maps a block number to its set.
 func (c *Cache) SetIndex(block uint64) int { return int(block & uint64(c.sets-1)) }
 
-func (c *Cache) frame(set, way int) *frame { return &c.frames[set*c.ways+way] }
-
 // Lookup reports whether block is resident, without touching any state.
+//
+//ghrp:hotpath
 func (c *Cache) Lookup(block uint64) bool {
 	set := c.SetIndex(block)
-	for w := 0; w < c.ways; w++ {
-		if f := c.frame(set, w); f.valid && f.tag == block {
+	base := set * c.ways
+	for m := c.valid[set]; m != 0; m &= m - 1 {
+		if c.tags[base+bits.TrailingZeros64(m)] == block {
 			return true
 		}
 	}
@@ -166,8 +226,25 @@ func (c *Cache) Access(a Access) (hit bool) {
 
 // AccessEx is Access but additionally reports whether a missing block was
 // bypassed.
+//
 //ghrp:hotpath
 func (c *Cache) AccessEx(a Access) (hit, bypassed bool) {
+	return AccessWith(c, c.policy, a)
+}
+
+// AccessWith is AccessEx with the replacement policy supplied as a type
+// parameter. Instantiated with a concrete (non-interface) policy type,
+// the compiler emits a per-policy copy of the access path whose policy
+// callbacks are bound statically and inlined — the devirtualization an
+// interface-typed policy field cannot express. The fan-out's per-lane
+// specialized step functions are built on these instantiations;
+// AccessEx funnels through the interface-typed instantiation, so the
+// two paths cannot diverge. Scanning ways in ascending bit order and
+// choosing the lowest free way keeps the protocol bit-identical to the
+// historical frame walk.
+//
+//ghrp:hotpath
+func AccessWith[P Policy](c *Cache, p P, a Access) (hit, bypassed bool) {
 	a.Set = c.SetIndex(a.Block)
 	c.now++
 	if !c.born {
@@ -178,20 +255,20 @@ func (c *Cache) AccessEx(a Access) (hit, bypassed bool) {
 		c.stats.Accesses++
 	}
 
-	// Hit path.
-	free := -1
-	for w := 0; w < c.ways; w++ {
-		f := c.frame(a.Set, w)
-		if f.valid && f.tag == a.Block {
+	// Hit path: scan only the valid ways' tags, one contiguous word each.
+	base := a.Set * c.ways
+	vm := c.valid[a.Set]
+	for m := vm; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == a.Block {
 			if !c.warmup {
 				c.stats.Hits++
 			}
-			f.lastUseAt = c.now
-			c.policy.OnHit(a, w)
+			if c.eff != nil {
+				c.eff[base+w].lastUseAt = c.now
+			}
+			p.OnHit(a, w)
 			return true, false
-		}
-		if !f.valid && free == -1 {
-			free = w
 		}
 	}
 
@@ -199,57 +276,68 @@ func (c *Cache) AccessEx(a Access) (hit, bypassed bool) {
 	if !c.warmup {
 		c.stats.Misses++
 	}
-	if free >= 0 {
-		if c.policy.MayBypass(a) {
+	if free := bits.TrailingZeros64(^vm); free < c.ways {
+		if p.MayBypass(a) {
 			if !c.warmup {
 				c.stats.Bypasses++
 			}
-			c.policy.OnBypass(a)
+			p.OnBypass(a)
 			return false, true
 		}
-		c.install(a, free)
+		installWith(c, p, a, free)
 		return false, false
 	}
-	way, bypass := c.policy.Victim(a)
+	way, bypass := p.Victim(a)
 	if bypass {
 		if !c.warmup {
 			c.stats.Bypasses++
 		}
-		c.policy.OnBypass(a)
+		p.OnBypass(a)
 		return false, true
 	}
 	if way < 0 || way >= c.ways {
 		//ghrplint:ignore hotalloc cold invariant-violation path; fires only on a buggy policy, never in a clean replay
-		panic(fmt.Sprintf("cache: policy %s returned way %d of %d", c.policy.Name(), way, c.ways))
+		panic(fmt.Sprintf("cache: policy %s returned way %d of %d", p.Name(), way, c.ways))
 	}
-	f := c.frame(a.Set, way)
 	if !c.warmup {
 		c.stats.Evictions++
 	}
 	// Close the evicted generation for efficiency accounting: the block
 	// was live from insertion until its last use.
-	f.liveTime += f.lastUseAt - f.insertAt
-	c.policy.OnEvict(a, way, f.tag)
-	c.install(a, way)
+	if c.eff != nil {
+		e := &c.eff[base+way]
+		e.liveTime += e.lastUseAt - e.insertAt
+	}
+	p.OnEvict(a, way, c.tags[base+way])
+	installWith(c, p, a, way)
 	return false, false
 }
 
-func (c *Cache) install(a Access, way int) {
-	f := c.frame(a.Set, way)
-	f.tag = a.Block
-	f.valid = true
-	f.insertAt = c.now
-	f.lastUseAt = c.now
-	f.genStart = c.now
-	c.policy.OnInsert(a, way)
+//ghrp:hotpath
+func installWith[P Policy](c *Cache, p P, a Access, way int) {
+	i := a.Set*c.ways + way
+	c.tags[i] = a.Block
+	c.valid[a.Set] |= 1 << uint(way)
+	if c.eff != nil {
+		c.eff[i].insertAt = c.now
+		c.eff[i].lastUseAt = c.now
+	}
+	p.OnInsert(a, way)
 }
 
 // Efficiency returns the per-frame cache efficiency matrix: for each
 // (set, way), the fraction of elapsed time the frame held a live block.
 // A block is live from insertion until its final access before eviction.
-// Frames never filled have efficiency 0.
+// Frames never filled have efficiency 0, as does everything when
+// tracking is disabled (SetEffTracking).
 func (c *Cache) Efficiency() [][]float64 {
 	out := make([][]float64, c.sets)
+	if c.eff == nil {
+		for s := range out {
+			out[s] = make([]float64, c.ways)
+		}
+		return out
+	}
 	elapsed := float64(0)
 	if c.born && c.now > c.birth {
 		elapsed = float64(c.now - c.birth)
@@ -257,10 +345,10 @@ func (c *Cache) Efficiency() [][]float64 {
 	for s := 0; s < c.sets; s++ {
 		row := make([]float64, c.ways)
 		for w := 0; w < c.ways; w++ {
-			f := c.frame(s, w)
-			live := f.liveTime
-			if f.valid {
-				live += f.lastUseAt - f.insertAt
+			e := &c.eff[s*c.ways+w]
+			live := e.liveTime
+			if c.valid[s]&(1<<uint(w)) != 0 {
+				live += e.lastUseAt - e.insertAt
 			}
 			if elapsed > 0 {
 				row[w] = float64(live) / elapsed
@@ -292,8 +380,14 @@ func (c *Cache) MeanEfficiency() float64 {
 
 // Reset clears cache contents, statistics, and policy state.
 func (c *Cache) Reset() {
-	for i := range c.frames {
-		c.frames[i] = frame{}
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	for i := range c.valid {
+		c.valid[i] = 0
+	}
+	for i := range c.eff {
+		c.eff[i] = effTimes{}
 	}
 	c.stats = Stats{}
 	c.now = 0

@@ -27,6 +27,15 @@ type ICachePolicy struct {
 	last       []uint64 // per-frame recency timestamps (3-bit LRU equivalent)
 	now        uint64
 	bypassTick uint64 // counts predicted bypasses for the escape
+	// Memoized recencyCutoff result. Victim and the default OnEvict
+	// training gate both need the set's median recency for the same
+	// eviction, with no touch() possible in between; caching the
+	// Victim-time sort halves the per-eviction sorting work. The cache is
+	// valid only while (set, now) both match — any access in between
+	// bumps now and invalidates it.
+	cutSet int
+	cutNow uint64
+	cutVal uint64
 	// stats
 	deadEvictions uint64 // victims chosen by dead prediction
 	lruEvictions  uint64 // victims chosen by LRU fallback
@@ -126,8 +135,13 @@ func (p *ICachePolicy) Victim(a cache.Access) (int, bool) {
 }
 
 // recencyCutoff returns the timestamp of the median-recency block in the
-// set: blocks at or below it are in the LRU half of the stack.
+// set: blocks at or below it are in the LRU half of the stack. The
+// result is memoized per (set, now) so the Victim choice and the
+// OnEvict training gate of one eviction share a single sort.
 func (p *ICachePolicy) recencyCutoff(set int) uint64 {
+	if p.cutNow == p.now && p.cutSet == set && p.now != 0 {
+		return p.cutVal
+	}
 	base := set * p.ways
 	var ts [16]uint64
 	n := p.ways
@@ -141,7 +155,8 @@ func (p *ICachePolicy) recencyCutoff(set int) uint64 {
 			ts[j], ts[j-1] = ts[j-1], ts[j]
 		}
 	}
-	return ts[(n-1)/2]
+	p.cutSet, p.cutNow, p.cutVal = set, p.now, ts[(n-1)/2]
+	return p.cutVal
 }
 
 // MayBypass implements cache.Policy: the incoming block is bypassed when
@@ -230,6 +245,7 @@ func (p *ICachePolicy) Reset() {
 	p.bypassTick = 0
 	p.deadEvictions = 0
 	p.lruEvictions = 0
+	p.cutSet, p.cutNow, p.cutVal = 0, 0, 0
 }
 
 // BlockPrediction looks up the I-cache metadata for the cache block

@@ -7,8 +7,12 @@ package core
 // adapter — the paper's key storage insight is that the BTB reuses the
 // I-cache's tables and metadata (§III-E).
 type Predictor struct {
-	cfg    Config
-	tables [][]uint8
+	cfg Config
+	// tables holds all NumTables counter tables in one pointer-free slab,
+	// table-major: table t's entry i lives at t<<TableBits | i. The flat
+	// layout keeps the per-prediction loads free of slice-header chasing
+	// and the slab invisible to the garbage collector's scan phase.
+	tables []uint8
 	mask   uint32
 	// statistics
 	deadPredictions uint64
@@ -26,10 +30,7 @@ func NewPredictor(cfg Config) (*Predictor, error) {
 	}
 	cfg = cfg.WithDefaults()
 	p := &Predictor{cfg: cfg, mask: uint32(1)<<cfg.TableBits - 1}
-	p.tables = make([][]uint8, cfg.NumTables)
-	for t := range p.tables {
-		p.tables[t] = make([]uint8, 1<<cfg.TableBits)
-	}
+	p.tables = make([]uint8, cfg.NumTables<<cfg.TableBits)
 	return p, nil
 }
 
@@ -88,9 +89,10 @@ func (p *Predictor) Predict(sig uint16, threshold int) bool {
 	var idx [8]uint32
 	ix := idx[:p.cfg.NumTables]
 	p.indicesInto(sig, ix)
+	tb := uint(p.cfg.TableBits)
 	deadVotes, sum := 0, 0
 	for t := range ix {
-		c := int(p.tables[t][ix[t]])
+		c := int(p.tables[uint32(t)<<tb|ix[t]])
 		sum += c
 		if c >= threshold {
 			deadVotes++
@@ -117,8 +119,9 @@ func (p *Predictor) PredictUnanimous(sig uint16, threshold int) bool {
 	var idx [8]uint32
 	ix := idx[:p.cfg.NumTables]
 	p.indicesInto(sig, ix)
+	tb := uint(p.cfg.TableBits)
 	for t := range ix {
-		if int(p.tables[t][ix[t]]) < threshold {
+		if int(p.tables[uint32(t)<<tb|ix[t]]) < threshold {
 			p.livePredictions++
 			return false
 		}
@@ -139,14 +142,16 @@ func (p *Predictor) Train(sig uint16, dead bool) {
 	} else {
 		p.liveTrainings++
 	}
+	tb := uint(p.cfg.TableBits)
 	for t := range ix {
-		c := p.tables[t][ix[t]]
+		off := uint32(t)<<tb | ix[t]
+		c := p.tables[off]
 		if dead {
 			if int(c) < p.cfg.CounterMax {
-				p.tables[t][ix[t]] = c + 1
+				p.tables[off] = c + 1
 			}
 		} else if c > 0 {
-			p.tables[t][ix[t]] = c - 1
+			p.tables[off] = c - 1
 		}
 	}
 }
@@ -157,8 +162,9 @@ func (p *Predictor) Counters(sig uint16) []int {
 	ix := idx[:p.cfg.NumTables]
 	p.indicesInto(sig, ix)
 	out := make([]int, len(ix))
+	tb := uint(p.cfg.TableBits)
 	for t := range ix {
-		out[t] = int(p.tables[t][ix[t]])
+		out[t] = int(p.tables[uint32(t)<<tb|ix[t]])
 	}
 	return out
 }
@@ -183,10 +189,8 @@ func (p *Predictor) Stats() PredictorStats {
 
 // Reset clears tables and statistics.
 func (p *Predictor) Reset() {
-	for t := range p.tables {
-		for i := range p.tables[t] {
-			p.tables[t][i] = 0
-		}
+	for i := range p.tables {
+		p.tables[i] = 0
 	}
 	p.deadPredictions = 0
 	p.livePredictions = 0

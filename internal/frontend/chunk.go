@@ -1,0 +1,132 @@
+package frontend
+
+import (
+	"sync/atomic"
+
+	"ghrpsim/internal/btb"
+	"ghrpsim/internal/cache"
+)
+
+// Chunked lane-major replay. The record-major fused step (stepRecord)
+// sweeps all N specialized lane bodies once per record, so the host CPU
+// alternates between N distinct instruction footprints tens of millions
+// of times per second — the code-size cost of specialization turns into
+// an instruction-cache thrash. The chunked path fixes the ratio:
+// front.decide runs for a block of records first, serializing each
+// record's lane-facing decisions into a decChunk, and then each lane
+// replays the whole chunk in one burst. Every specialized body now runs
+// for chunkRecords records per activation, and a lane's cache, BTB and
+// policy tables stay hot across the burst.
+//
+// A chunk is exactly a reified sequence of stepDecisions, and each
+// lane's chunk replay applies them through the same laneAccess /
+// laneInject / btb.AccessWith calls in the same per-record order as
+// applyStep, so chunked replay is bit-identical to the record-major
+// path by construction. The checkpoint-parallel path (fanlog.go) ships
+// these same chunks to worker goroutines.
+
+// chunkRecords is the record capacity of one chunk: large enough to
+// amortize the per-lane body switch and keep a lane's tables hot,
+// small enough that a chunk (records + flattened accesses) stays well
+// inside the L2 working set alongside two lanes' hot state.
+const chunkRecords = 8192
+
+// chunk record flags.
+const (
+	chunkWarm   = 1 << iota // ops run under warm-up statistics
+	chunkInject             // wrong-path injection follows the accesses
+	chunkBTB                // BTB probe for a taken branch
+	chunkFlip               // warm-up boundary crossed after this record
+)
+
+// decRec is one record's serialized decisions. The I-cache access list
+// lives flattened in the chunk's shared pool.
+type decRec struct {
+	accOff    uint32
+	accLen    uint32
+	flags     uint8
+	wrongPC   uint64
+	btbPC     uint64
+	btbTarget uint64
+}
+
+// decChunk holds the decisions of up to chunkRecords records. push
+// copies the access list out of the front's scratch, so a filled chunk
+// is self-contained and safe to hand to another goroutine.
+type decChunk struct {
+	recs     []decRec
+	accesses []blockAccess
+	// refs counts the workers still due to replay this chunk on the
+	// parallel path (fanlog.go); the serial path leaves it at zero.
+	refs atomic.Int32
+}
+
+func newDecChunk() *decChunk {
+	return &decChunk{
+		recs: make([]decRec, 0, chunkRecords),
+		// Fetch groups average one to two coalesced accesses per record.
+		accesses: make([]blockAccess, 0, 2*chunkRecords),
+	}
+}
+
+// push serializes one record's decisions into the chunk.
+//
+//ghrp:hotpath
+func (ch *decChunk) push(d *stepDecisions) {
+	var r decRec
+	r.accOff = uint32(len(ch.accesses))
+	r.accLen = uint32(len(d.accesses))
+	//ghrplint:ignore hotalloc chunk buffers keep their capacity across resets; a grow can happen only the first few chunks of a run (access lists denser than the 2x-records presize), after which pushes are allocation-free — TestStreamingAllocsBounded pins the steady state
+	ch.accesses = append(ch.accesses, d.accesses...)
+	if d.warm {
+		r.flags |= chunkWarm
+	}
+	if d.inject {
+		r.flags |= chunkInject
+		r.wrongPC = d.wrongPC
+	}
+	if d.btb {
+		r.flags |= chunkBTB
+		r.btbPC = d.btbPC
+		r.btbTarget = d.btbTarget
+	}
+	if d.flip {
+		r.flags |= chunkFlip
+	}
+	//ghrplint:ignore hotalloc recs is presized to chunkRecords and full() gates the chunk before this append can exceed it
+	ch.recs = append(ch.recs, r)
+}
+
+func (ch *decChunk) full() bool  { return len(ch.recs) >= chunkRecords }
+func (ch *decChunk) empty() bool { return len(ch.recs) == 0 }
+
+func (ch *decChunk) reset() {
+	ch.recs = ch.recs[:0]
+	ch.accesses = ch.accesses[:0]
+}
+
+// replayChunk advances one lane through every record of a chunk,
+// mirroring applyStep's per-record op order exactly: I-cache accesses,
+// wrong-path injection, BTB probe, warm-up flip.
+//
+//ghrp:hotpath
+func replayChunk[IP, BP cache.Policy](l *lane, ip IP, bp BP, ch *decChunk) {
+	for i := range ch.recs {
+		r := &ch.recs[i]
+		warm := r.flags&chunkWarm != 0
+		acc := ch.accesses[r.accOff : r.accOff+r.accLen]
+		for j := range acc {
+			laneAccess(l, ip, acc[j].block, acc[j].pc, warm)
+		}
+		if r.flags&chunkInject != 0 {
+			laneInject(l, ip, r.wrongPC, warm)
+		}
+		if r.flags&chunkBTB != 0 {
+			btb.AccessWith(&l.ibtb, bp, r.btbPC, r.btbTarget)
+		}
+		if r.flags&chunkFlip != 0 {
+			l.icache.SetWarmup(false)
+			l.ibtb.SetWarmup(false)
+		}
+	}
+}

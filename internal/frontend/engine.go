@@ -47,12 +47,34 @@ func (r Result) BranchMPKI() float64 { return r.Branch.MPKI(r.CountedInstrs) }
 // what makes driving N lanes from one front bit-identical to N
 // independent engines: each lane sees exactly the access, injection and
 // warm-up sequence it would have derived on its own.
+//
+// The split is made explicit by stepDecisions: front.decide distills one
+// record into the four lane-facing operations (coalesced I-cache
+// accesses, optional wrong-path injection, optional BTB probe, optional
+// warm-up flip), and each lane applies them through a step function
+// specialized to its concrete policy types. Because both the serial and
+// the checkpoint-parallel paths replay the same stepDecisions through
+// the same apply code, they cannot diverge.
 
 // blockAccess is one pending I-cache access of the current record's
 // fetch group: the block and the PC the access is attributed to.
 type blockAccess struct {
 	block uint64
 	pc    uint64
+}
+
+// stepDecisions is the policy-independent digest of one branch record:
+// everything a lane needs to advance, and nothing else. accesses aliases
+// front scratch and is valid until the next decide call.
+type stepDecisions struct {
+	accesses  []blockAccess
+	warm      bool // warm-up state the lane ops run under (pre-flip)
+	inject    bool // wrong-path pollution after a misprediction
+	wrongPC   uint64
+	btb       bool // taken branch probing the BTB
+	btbPC     uint64
+	btbTarget uint64
+	flip      bool // warm-up boundary crossed at the end of this record
 }
 
 // front is the policy-independent half of the simulator.
@@ -73,9 +95,9 @@ type front struct {
 	lastBlock   uint64 // fetch buffer: last I-cache line touched
 	haveLast    bool
 
-	spans       []trace.BlockSpan // scratch: current record's fetch blocks
-	accesses    []blockAccess     // scratch: coalesced I-cache accesses
-	wrongBlocks []uint64          // scratch: wrong-path injection blocks
+	spans    []trace.BlockSpan // scratch: current record's fetch blocks
+	accesses []blockAccess     // scratch: coalesced I-cache accesses
+	dec      stepDecisions     // scratch: current record's decisions
 }
 
 func newFront(cfg Config, warmupLimit uint64) (*front, error) {
@@ -102,17 +124,133 @@ func newFront(cfg Config, warmupLimit uint64) (*front, error) {
 	return f, nil
 }
 
+// decide advances the front by one branch record and fills d with the
+// lane-facing decisions. It touches no lane state; stepRecord applies d
+// to every lane afterwards.
+//
+//ghrp:hotpath
+func (f *front) decide(r trace.Record, d *stepDecisions) {
+	f.records++
+	preWarm := f.warm
+	d.warm = preWarm
+	d.inject = false
+	d.btb = false
+	d.flip = false
+
+	// Fetch-group reconstruction: each distinct block is one I-cache
+	// access whose PC is the first instruction fetched in that block.
+	// Fetch-buffer coalescing drops consecutive fetch groups from the
+	// same cache line (sequential fall-through past a not-taken branch,
+	// or a short taken branch within the line): they read the fetch
+	// buffer, not the I-cache. Without this, dense basic blocks would
+	// count several I-cache accesses per line and streaming lines would
+	// look "reused". The coalesced access list is policy-independent, so
+	// it is computed once and applied to every lane.
+	startPC := f.fetcher.PC()
+	var n uint64
+	f.spans, n = f.fetcher.NextSpans(r, f.spans[:0])
+	f.accesses = f.accesses[:0]
+	first := true
+	for i := range f.spans {
+		block := f.spans[i].Block
+		if f.haveLast && block == f.lastBlock {
+			continue
+		}
+		f.lastBlock, f.haveLast = block, true
+		pc := block << f.blockShift
+		if first {
+			// A mid-block fetch begins at the branch target, not the
+			// block base; signatures must see the real entry point.
+			if startPC != 0 && startPC>>f.blockShift == block {
+				pc = startPC
+			} else if startPC == 0 {
+				pc = r.PC
+			}
+			first = false
+		}
+		f.accesses = append(f.accesses, blockAccess{block: block, pc: pc})
+	}
+	d.accesses = f.accesses
+	f.instrs += n
+	if !f.warm {
+		f.counted += n
+	}
+
+	// Direction prediction for conditional branches; other transfers
+	// contribute to path history only.
+	if r.Type.Conditional() {
+		o := f.bpred.Predict(r.PC)
+		mispredicted := o.Taken != r.Taken
+		f.bpred.Update(o, r.PC, r.Taken)
+		if mispredicted && f.cfg.WrongPath != WrongPathOff {
+			// Wrong-path fetch after a misprediction (§III-F): a few
+			// sequential blocks from the not-executed path. The lanes
+			// derive the block list from the wrong-path PC.
+			d.inject = true
+			if r.Taken {
+				d.wrongPC = r.FallThrough(f.cfg.InstrBytes)
+			} else {
+				d.wrongPC = r.Target
+			}
+		}
+	} else {
+		f.bpred.PushUnconditional(r.PC)
+	}
+
+	// BTB probe for taken branches that use it.
+	if r.Taken && r.Type.UsesBTB() {
+		d.btb = true
+		d.btbPC = r.PC
+		d.btbTarget = r.Target
+	}
+
+	// Return address stack and indirect target prediction: calls push
+	// their return address, returns pop and score it, and indirect
+	// transfers consult the ITTAGE-style target predictor (the paper's
+	// §VI future-work interaction).
+	switch r.Type {
+	case trace.DirectCall, trace.IndirectCall:
+		f.ras.Push(r.FallThrough(f.cfg.InstrBytes))
+	case trace.Return:
+		f.ras.Pop(r.Target)
+	}
+	if r.Type == trace.IndirectCall || r.Type == trace.IndirectJump {
+		o := f.ind.Predict(r.PC)
+		f.ind.Update(o, r.PC, r.Target)
+	}
+
+	// Warm-up boundary: flip statistics on once crossed.
+	if preWarm && f.instrs >= f.warmupLimit {
+		f.warm = false
+		d.flip = true
+		f.bpred.ResetStats()
+		f.ras.ResetStats()
+		f.ind.ResetStats()
+	}
+}
+
 // lane is the per-policy half of the simulator: one I-cache and BTB
-// replaying under one replacement policy.
+// replaying under one replacement policy. Lanes are laid out as values
+// in a contiguous slice, and their caches carve tag/validity state from
+// one shared arena, so the per-record sweep over N lanes walks a single
+// slab instead of N scattered heap objects.
 type lane struct {
 	kind        PolicyKind
-	icache      *cache.Cache
-	ibtb        *btb.BTB
+	icache      cache.Cache
+	ibtb        btb.BTB
 	ghrp        *core.ICachePolicy // non-nil only for PolicyGHRP
 	pref        prefetchSet        // nil unless NextLinePrefetch
 	prefStats   PrefetchStats
 	blockShift  uint
+	wrongDepth  int
 	recoverHist bool // WrongPathInject: restore speculative history
+	// step applies one record's decisions to this lane; replay applies a
+	// whole chunk of them lane-major. Both are bound at construction to
+	// instantiations specialized to the lane's concrete policy types, so
+	// the cache and BTB access paths call the policy callbacks
+	// statically instead of through the cache.Policy interface.
+	step   func(d *stepDecisions)
+	replay func(ch *decChunk)
 }
 
 // PrefetchStats counts next-line prefetcher activity.
@@ -129,27 +267,46 @@ func (s PrefetchStats) Coverage() float64 {
 	return float64(s.Useful) / float64(s.Issued)
 }
 
-func newLane(cfg Config, kind PolicyKind, warm bool) (*lane, error) {
-	if kind >= numPolicies {
-		return nil, fmt.Errorf("frontend: invalid policy kind %d", kind)
+// laneHotWords is how many arena words one lane's cache and BTB carve.
+func laneHotWords(cfg Config) int {
+	return cache.HotWords(cfg.ICache.Sets(), cfg.ICache.Ways) +
+		btb.HotWords(cfg.BTB.Sets(), cfg.BTB.Ways)
+}
+
+// newLanes builds one initialized lane per kind, all carving hot state
+// from a single shared arena.
+func newLanes(cfg Config, kinds []PolicyKind, warm bool) ([]lane, error) {
+	ar := cache.NewArena(len(kinds) * laneHotWords(cfg))
+	lanes := make([]lane, len(kinds))
+	for i, kind := range kinds {
+		if err := lanes[i].init(cfg, kind, warm, ar); err != nil {
+			return nil, err
+		}
 	}
-	l := &lane{kind: kind, blockShift: shiftOf(uint64(cfg.ICache.BlockBytes))}
+	return lanes, nil
+}
+
+func (l *lane) init(cfg Config, kind PolicyKind, warm bool, ar *cache.Arena) error {
+	if kind >= numPolicies {
+		return fmt.Errorf("frontend: invalid policy kind %d", kind)
+	}
+	l.kind = kind
+	l.blockShift = shiftOf(uint64(cfg.ICache.BlockBytes))
+	l.wrongDepth = cfg.WrongPathDepth
 	l.recoverHist = cfg.WrongPath == WrongPathInject
 	icPolicy, err := l.makeICachePolicy(cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	l.icache, err = cache.New(cfg.ICache.Sets(), cfg.ICache.Ways, icPolicy)
-	if err != nil {
-		return nil, err
+	if err := l.icache.Init(cfg.ICache.Sets(), cfg.ICache.Ways, icPolicy, ar); err != nil {
+		return err
 	}
 	btbPolicy, err := l.makeBTBPolicy(cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	l.ibtb, err = btb.New(cfg.BTB.Sets(), cfg.BTB.Ways, cfg.InstrBytes, btbPolicy)
-	if err != nil {
-		return nil, err
+	if err := l.ibtb.Init(cfg.BTB.Sets(), cfg.BTB.Ways, cfg.InstrBytes, btbPolicy, ar); err != nil {
+		return err
 	}
 	if cfg.NextLinePrefetch {
 		l.pref = newPrefetchFilter()
@@ -158,7 +315,8 @@ func newLane(cfg Config, kind PolicyKind, warm bool) (*lane, error) {
 		l.icache.SetWarmup(true)
 		l.ibtb.SetWarmup(true)
 	}
-	return l, nil
+	l.bindStep(icPolicy, btbPolicy)
+	return nil
 }
 
 func (l *lane) makeICachePolicy(cfg Config) (cache.Policy, error) {
@@ -213,12 +371,85 @@ func (l *lane) makeBTBPolicy(cfg Config) (cache.Policy, error) {
 	}
 }
 
+// Policy specialization. Passing a concrete policy type to the generic
+// access paths would not devirtualize on its own: Go's gcshape
+// stenciling collapses all pointer type arguments into one dictionary-
+// driven instantiation. Wrapping each concrete policy pointer in its own
+// struct type forces a distinct shape per policy, so every wrapper gets
+// its own copy of applyStep/cache.AccessWith/btb.AccessWith with the
+// policy callbacks statically bound (and inlinable). The wrappers embed
+// the pointer; the promoted methods are exactly the policy's own.
+type (
+	wLRU    struct{ *policies.LRU }
+	wFIFO   struct{ *policies.FIFO }
+	wRandom struct{ *policies.Random }
+	wSRRIP  struct{ *policies.SRRIP }
+	wSDBP   struct{ *policies.SDBP }
+	wSHiP   struct{ *policies.SHiP }
+	wDIP    struct{ *policies.DIP }
+	wGHRP   struct{ *core.ICachePolicy }
+	wGHRPB  struct{ *btb.GHRPPolicy }
+)
+
+// bindLane fixes a lane's step and replay functions to the
+// instantiations for its concrete policy pair.
+func bindLane[IP, BP cache.Policy](l *lane, ip IP, bp BP) {
+	l.step = func(d *stepDecisions) { applyStep(l, ip, bp, d) }
+	l.replay = func(ch *decChunk) { replayChunk(l, ip, bp, ch) }
+}
+
+// bindStep dispatches once, at construction, from the lane's kind to the
+// specialized step function. The default arm falls back to the
+// interface-typed instantiation — bit-identical, just not devirtualized.
+func (l *lane) bindStep(icp, btbp cache.Policy) {
+	switch l.kind {
+	case PolicyLRU:
+		bindLane(l, wLRU{icp.(*policies.LRU)}, wLRU{btbp.(*policies.LRU)})
+	case PolicyRandom:
+		bindLane(l, wRandom{icp.(*policies.Random)}, wRandom{btbp.(*policies.Random)})
+	case PolicyFIFO:
+		bindLane(l, wFIFO{icp.(*policies.FIFO)}, wFIFO{btbp.(*policies.FIFO)})
+	case PolicySRRIP:
+		bindLane(l, wSRRIP{icp.(*policies.SRRIP)}, wSRRIP{btbp.(*policies.SRRIP)})
+	case PolicySDBP:
+		bindLane(l, wSDBP{icp.(*policies.SDBP)}, wSDBP{btbp.(*policies.SDBP)})
+	case PolicySHiP:
+		bindLane(l, wSHiP{icp.(*policies.SHiP)}, wSHiP{btbp.(*policies.SHiP)})
+	case PolicyDIP:
+		bindLane(l, wDIP{icp.(*policies.DIP)}, wDIP{btbp.(*policies.DIP)})
+	case PolicyGHRP:
+		bindLane(l, wGHRP{icp.(*core.ICachePolicy)}, wGHRPB{btbp.(*btb.GHRPPolicy)})
+	default:
+		bindLane(l, icp, btbp)
+	}
+}
+
+// applyStep advances one lane by one record's decisions, in the exact
+// order the historical fused step interleaved them: I-cache accesses,
+// wrong-path injection, BTB probe, warm-up flip.
+//
+//ghrp:hotpath
+func applyStep[IP, BP cache.Policy](l *lane, ip IP, bp BP, d *stepDecisions) {
+	for i := range d.accesses {
+		laneAccess(l, ip, d.accesses[i].block, d.accesses[i].pc, d.warm)
+	}
+	if d.inject {
+		laneInject(l, ip, d.wrongPC, d.warm)
+	}
+	if d.btb {
+		btb.AccessWith(&l.ibtb, bp, d.btbPC, d.btbTarget)
+	}
+	if d.flip {
+		l.icache.SetWarmup(false)
+		l.ibtb.SetWarmup(false)
+	}
+}
+
 // Engine is the trace-driven front-end simulator for one policy: a front
 // driving a single lane.
 type Engine struct {
 	front *front
-	lane  *lane
-	lanes []*lane // the single lane, pre-sliced for stepRecord
+	lanes []lane // exactly one
 }
 
 // NewEngine builds a simulator for the given configuration and
@@ -233,11 +464,11 @@ func NewEngine(cfg Config, kind PolicyKind, warmupLimit uint64) (*Engine, error)
 	if err != nil {
 		return nil, err
 	}
-	l, err := newLane(cfg, kind, f.warm)
+	lanes, err := newLanes(cfg, []PolicyKind{kind}, f.warm)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{front: f, lane: l, lanes: []*lane{l}}, nil
+	return &Engine{front: f, lanes: lanes}, nil
 }
 
 // WarmupFor derives the warm-up instruction count for a trace of the
@@ -251,10 +482,10 @@ func (c Config) WarmupFor(totalInstructions uint64) uint64 {
 }
 
 // ICache exposes the simulated I-cache (for efficiency heat maps).
-func (e *Engine) ICache() *cache.Cache { return e.lane.icache }
+func (e *Engine) ICache() *cache.Cache { return &e.lanes[0].icache }
 
 // BTB exposes the simulated BTB.
-func (e *Engine) BTB() *btb.BTB { return e.lane.ibtb }
+func (e *Engine) BTB() *btb.BTB { return &e.lanes[0].ibtb }
 
 // GHRP returns the GHRP I-cache policy, or nil for other policies (and
 // on a nil receiver).
@@ -262,7 +493,7 @@ func (e *Engine) GHRP() *core.ICachePolicy {
 	if e == nil { // callers that load a cached Result have no engine
 		return nil
 	}
-	return e.lane.ghrp
+	return e.lanes[0].ghrp
 }
 
 // BranchPredictor exposes the direction predictor.
@@ -288,129 +519,26 @@ func (e *Engine) Process(r trace.Record) {
 // stepRecord advances the front and every lane by one branch record. The
 // single-policy Engine and the multi-policy FanOut both funnel through
 // it, so the two paths cannot drift apart. It runs once per record and
-// must stay allocation-free (TestStepAllocFree pins the dynamic count;
+// must stay allocation-free (TestFanOutProcessZeroAllocs pins the dynamic count;
 // the hotalloc analyzer pins the constructs statically).
 //
 //ghrp:hotpath
-func stepRecord(f *front, lanes []*lane, r trace.Record) {
-	f.records++
-	preWarm := f.warm
-
-	// Fetch-group reconstruction: each distinct block is one I-cache
-	// access whose PC is the first instruction fetched in that block.
-	// Fetch-buffer coalescing drops consecutive fetch groups from the
-	// same cache line (sequential fall-through past a not-taken branch,
-	// or a short taken branch within the line): they read the fetch
-	// buffer, not the I-cache. Without this, dense basic blocks would
-	// count several I-cache accesses per line and streaming lines would
-	// look "reused". The coalesced access list is policy-independent, so
-	// it is computed once and applied to every lane.
-	startPC := f.fetcher.PC()
-	var n uint64
-	f.spans, n = f.fetcher.NextSpans(r, f.spans[:0])
-	f.accesses = f.accesses[:0]
-	first := true
-	for i := range f.spans {
-		block := f.spans[i].Block
-		if f.haveLast && block == f.lastBlock {
-			continue
-		}
-		f.lastBlock, f.haveLast = block, true
-		pc := block << f.blockShift
-		if first {
-			// A mid-block fetch begins at the branch target, not the
-			// block base; signatures must see the real entry point.
-			if startPC != 0 && startPC>>f.blockShift == block {
-				pc = startPC
-			} else if startPC == 0 {
-				pc = r.PC
-			}
-			first = false
-		}
-		f.accesses = append(f.accesses, blockAccess{block: block, pc: pc})
-	}
-	for _, l := range lanes {
-		for _, a := range f.accesses {
-			l.access(a.block, a.pc, f.warm)
-		}
-	}
-	f.instrs += n
-	if !f.warm {
-		f.counted += n
-	}
-
-	// Direction prediction for conditional branches; other transfers
-	// contribute to path history only.
-	if r.Type.Conditional() {
-		o := f.bpred.Predict(r.PC)
-		mispredicted := o.Taken != r.Taken
-		f.bpred.Update(o, r.PC, r.Taken)
-		if mispredicted && f.cfg.WrongPath != WrongPathOff {
-			// Wrong-path fetch after a misprediction (§III-F): a few
-			// sequential blocks from the not-executed path. The block
-			// list is policy-independent; each lane takes the pollution
-			// and (in recovery mode) restores its speculative history.
-			wrongPC := r.Target
-			if r.Taken {
-				wrongPC = r.FallThrough(f.cfg.InstrBytes)
-			}
-			f.wrongBlocks = f.wrongBlocks[:0]
-			base := wrongPC >> f.blockShift
-			for i := 0; i < f.cfg.WrongPathDepth; i++ {
-				f.wrongBlocks = append(f.wrongBlocks, base+uint64(i))
-			}
-			for _, l := range lanes {
-				l.injectWrongPath(f.wrongBlocks, wrongPC, f.warm)
-			}
-		}
-	} else {
-		f.bpred.PushUnconditional(r.PC)
-	}
-
-	// BTB access for taken branches that use it.
-	if r.Taken && r.Type.UsesBTB() {
-		for _, l := range lanes {
-			l.ibtb.Access(r.PC, r.Target)
-		}
-	}
-
-	// Return address stack and indirect target prediction: calls push
-	// their return address, returns pop and score it, and indirect
-	// transfers consult the ITTAGE-style target predictor (the paper's
-	// §VI future-work interaction).
-	switch r.Type {
-	case trace.DirectCall, trace.IndirectCall:
-		f.ras.Push(r.FallThrough(f.cfg.InstrBytes))
-	case trace.Return:
-		f.ras.Pop(r.Target)
-	}
-	if r.Type == trace.IndirectCall || r.Type == trace.IndirectJump {
-		o := f.ind.Predict(r.PC)
-		f.ind.Update(o, r.PC, r.Target)
-	}
-
-	// Warm-up boundary: flip statistics on once crossed.
-	if preWarm && f.instrs >= f.warmupLimit {
-		f.warm = false
-		for _, l := range lanes {
-			l.icache.SetWarmup(false)
-			l.ibtb.SetWarmup(false)
-		}
-		f.bpred.ResetStats()
-		f.ras.ResetStats()
-		f.ind.ResetStats()
+func stepRecord(f *front, lanes []lane, r trace.Record) {
+	f.decide(r, &f.dec)
+	for i := range lanes {
+		lanes[i].step(&f.dec)
 	}
 }
 
-// access performs one I-cache access and mirrors the retired GHRP path
-// history (right-path accesses commit immediately in a trace-driven
+// laneAccess performs one I-cache access and mirrors the retired GHRP
+// path history (right-path accesses commit immediately in a trace-driven
 // simulation). With next-line prefetching enabled, a demand miss also
 // installs the following block; prefetch fills do not count as demand
 // traffic.
 //
 //ghrp:hotpath
-func (l *lane) access(block, pc uint64, warm bool) {
-	hit, _ := l.icache.AccessEx(cache.Access{Block: block, PC: pc})
+func laneAccess[P cache.Policy](l *lane, p P, block, pc uint64, warm bool) {
+	hit, _ := cache.AccessWith(&l.icache, p, cache.Access{Block: block, PC: pc})
 	if l.ghrp != nil {
 		l.ghrp.History().Commit(pc)
 	}
@@ -427,7 +555,7 @@ func (l *lane) access(block, pc uint64, warm bool) {
 			if !warm {
 				l.icache.SetWarmup(true)
 			}
-			_, bypassed := l.icache.AccessEx(cache.Access{Block: next, PC: next << l.blockShift})
+			_, bypassed := cache.AccessWith(&l.icache, p, cache.Access{Block: next, PC: next << l.blockShift})
 			if !warm {
 				l.icache.SetWarmup(false)
 				if !bypassed {
@@ -441,22 +569,26 @@ func (l *lane) access(block, pc uint64, warm bool) {
 	}
 }
 
-// injectWrongPath fetches the given wrong-path blocks into this lane's
-// I-cache, polluting it and GHRP's speculative history; then the
-// speculative history is restored from the retired history (§III-F),
-// unless recovery is disabled for the ablation. Wrong-path accesses
-// change cache and history state but are not demand misses; they are
-// excluded from statistics.
-func (l *lane) injectWrongPath(blocks []uint64, wrongPC uint64, warm bool) {
+// laneInject fetches wrongDepth sequential wrong-path blocks starting at
+// wrongPC into this lane's I-cache, polluting it and GHRP's speculative
+// history; then the speculative history is restored from the retired
+// history (§III-F), unless recovery is disabled for the ablation.
+// Wrong-path accesses change cache and history state but are not demand
+// misses; they are excluded from statistics.
+//
+//ghrp:hotpath
+func laneInject[P cache.Policy](l *lane, p P, wrongPC uint64, warm bool) {
 	if !warm {
 		l.icache.SetWarmup(true)
 	}
-	for i, b := range blocks {
+	base := wrongPC >> l.blockShift
+	for i := 0; i < l.wrongDepth; i++ {
+		b := base + uint64(i)
 		pc := b << l.blockShift
 		if i == 0 {
 			pc = wrongPC
 		}
-		l.icache.Access(cache.Access{Block: b, PC: pc})
+		cache.AccessWith(&l.icache, p, cache.Access{Block: b, PC: pc})
 	}
 	if !warm {
 		l.icache.SetWarmup(false)
@@ -476,7 +608,7 @@ func (e *Engine) Run(recs []trace.Record) Result {
 
 // Result snapshots the current statistics.
 func (e *Engine) Result() Result {
-	return makeResult(e.front, e.lane)
+	return makeResult(e.front, &e.lanes[0])
 }
 
 // makeResult assembles one lane's Result from the shared front counters

@@ -1,0 +1,66 @@
+package frontend
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFanOutParallelMatchesSerial pins the checkpoint-parallel
+// contract: splitting lane replay across worker goroutines must produce
+// results bit-identical to the serial fused path for any worker count,
+// with and without a warm-up window, duplicate lanes included. The
+// target is chosen to cross chunk boundaries so both the full-chunk
+// publish path and the final drain are exercised.
+func TestFanOutParallelMatchesSerial(t *testing.T) {
+	prog := fanOutProgram(t)
+	cfg := smallConfig()
+	const target = 150_000
+	kinds := append(allPolicies(), PolicyGHRP, PolicyLRU) // duplicates ride along
+	total, _, err := CountProgram(cfg, prog, 1, target, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, warm := range []uint64{0, cfg.WarmupFor(total)} {
+		serial, err := SimulateFanOut(cfg, kinds, prog, 1, target, warm, StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, len(kinds), len(kinds) + 5} {
+			split, err := SimulateFanOutSplit(cfg, kinds, prog, 1, target, warm, workers, StreamOptions{})
+			if err != nil {
+				t.Fatalf("warm=%d workers=%d: %v", warm, workers, err)
+			}
+			if len(split) != len(serial) {
+				t.Fatalf("warm=%d workers=%d: got %d results, want %d", warm, workers, len(split), len(serial))
+			}
+			for i := range serial {
+				if split[i] != serial[i] {
+					t.Errorf("warm=%d workers=%d lane %d (%v): parallel result diverges:\n split: %+v\nserial: %+v",
+						warm, workers, i, kinds[i], split[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFanOutParallelProgressAbort checks that an aborting progress
+// callback shuts the worker pipeline down cleanly: the error comes
+// back, and the call does not deadlock on the bounded chunk pool.
+func TestFanOutParallelProgressAbort(t *testing.T) {
+	prog := fanOutProgram(t)
+	cfg := smallConfig()
+	boom := errors.New("stop")
+	opts := StreamOptions{
+		ProgressEvery: 64,
+		Progress: func(records, instructions uint64) error {
+			if records >= 512 {
+				return boom
+			}
+			return nil
+		},
+	}
+	_, err := SimulateFanOutSplit(cfg, allPolicies(), prog, 1, 150_000, 0, 4, opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the progress abort error", err)
+	}
+}

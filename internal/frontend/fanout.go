@@ -20,7 +20,7 @@ import (
 // same stream. TestFanOutMatchesPerPolicy pins this contract.
 type FanOut struct {
 	front *front
-	lanes []*lane
+	lanes []lane
 }
 
 // NewFanOut builds a fused simulator driving one lane per element of
@@ -38,12 +38,18 @@ func NewFanOut(cfg Config, kinds []PolicyKind, warmupLimit uint64) (*FanOut, err
 	if err != nil {
 		return nil, err
 	}
-	lanes := make([]*lane, len(kinds))
-	for i, kind := range kinds {
-		lanes[i], err = newLane(cfg, kind, f.warm)
-		if err != nil {
-			return nil, err
-		}
+	lanes, err := newLanes(cfg, kinds, f.warm)
+	if err != nil {
+		return nil, err
+	}
+	// Fan-out results never expose efficiency matrices (only Engine's
+	// heat-map path reads them), so the per-access efficiency writes —
+	// one random cold-line touch per lane per access — are dead work
+	// here. Replacement decisions and Results are unaffected, so the
+	// bit-identity contract with standalone engines holds.
+	for i := range lanes {
+		lanes[i].icache.SetEffTracking(false)
+		lanes[i].ibtb.SetEffTracking(false)
 	}
 	return &FanOut{front: f, lanes: lanes}, nil
 }
@@ -60,8 +66,8 @@ func (fo *FanOut) Instructions() uint64 { return fo.front.instrs }
 // kinds were given to NewFanOut.
 func (fo *FanOut) Results() []Result {
 	out := make([]Result, len(fo.lanes))
-	for i, l := range fo.lanes {
-		out[i] = makeResult(fo.front, l)
+	for i := range fo.lanes {
+		out[i] = makeResult(fo.front, &fo.lanes[i])
 	}
 	return out
 }
@@ -69,14 +75,30 @@ func (fo *FanOut) Results() []Result {
 // StreamProgram re-emits a program's deterministic record stream
 // straight into the fan-out, with no intermediate record buffer; the
 // replay cost is one program interpretation regardless of lane count.
+//
+// Internally the stream runs lane-major: the front's decisions are
+// serialized into chunks (chunk.go) and each lane replays a whole chunk
+// per activation, which keeps one specialized replay body and one
+// lane's tables hot at a time instead of cycling through all of them
+// every record. The result is bit-identical to record-major Process
+// calls; TestFanOutMatchesPerPolicy and the chunking equivalence tests
+// pin that.
 func (fo *FanOut) StreamProgram(prog *workload.Program, seed, target uint64, opts StreamOptions) ([]Result, error) {
 	every := opts.ProgressEvery
 	if every == 0 {
 		every = DefaultProgressEvery
 	}
+	ch := newDecChunk()
 	var n uint64
 	_, err := workload.Emit(prog, seed, target, func(r trace.Record) error {
-		fo.Process(r)
+		fo.front.decide(r, &fo.front.dec)
+		ch.push(&fo.front.dec)
+		if ch.full() {
+			for i := range fo.lanes {
+				fo.lanes[i].replay(ch)
+			}
+			ch.reset()
+		}
 		if opts.Progress != nil {
 			n++
 			if n%every == 0 {
@@ -87,6 +109,9 @@ func (fo *FanOut) StreamProgram(prog *workload.Program, seed, target uint64, opt
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i := range fo.lanes {
+		fo.lanes[i].replay(ch)
 	}
 	return fo.Results(), nil
 }

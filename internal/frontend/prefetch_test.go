@@ -89,7 +89,7 @@ func TestPrefetchStatsUnchangedOnSuite(t *testing.T) {
 				t.Fatalf("%s: engine: %v", spec.Name, err)
 			}
 			if oracle {
-				e.lane.pref = newMapPrefetchSet()
+				e.lanes[0].pref = newMapPrefetchSet()
 			}
 			res, err := e.StreamProgram(prog, 1, target, StreamOptions{})
 			if err != nil {

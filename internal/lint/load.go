@@ -11,6 +11,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 )
 
 // Package is one type-checked package under analysis. Only non-test
@@ -90,8 +91,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
+		// Build-variant packages — "pkg [root]" entries emitted for PGO
+		// or test builds — share the plain package's source and type
+		// identity; canonicalize to the plain path and check each
+		// package once, first listing wins. Import statements always
+		// name the plain path, so checked stays keyed the way the
+		// type-checker will ask.
+		if i := strings.Index(lp.ImportPath, " ["); i >= 0 {
+			lp.ImportPath = lp.ImportPath[:i]
+		}
 		if lp.ImportPath == "unsafe" {
 			continue // predeclared, nothing to check
+		}
+		if _, done := checked[lp.ImportPath]; done {
+			continue
 		}
 		files := make([]*ast.File, 0, len(lp.GoFiles))
 		for _, name := range lp.GoFiles {

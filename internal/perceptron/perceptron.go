@@ -98,14 +98,20 @@ func (s Stats) MPKI(instructions uint64) float64 {
 }
 
 // Predictor is a hashed perceptron branch direction predictor.
+//
+// All weight tables live in one flat []int16 slab, table-major: table t
+// occupies weights[t<<TableBits : (t+1)<<TableBits]. The per-prediction
+// walk then strides through one contiguous allocation instead of
+// chasing a slice-of-slices header per table.
 type Predictor struct {
-	cfg    Config
-	tables [][]int16
-	mask   uint64
-	ghr    uint64 // global outcome history, newest bit in bit 0
-	path   uint64 // folded path history of branch PCs
-	theta  int32
-	stats  Stats
+	cfg     Config
+	weights []int16
+	ntables int
+	mask    uint64
+	ghr     uint64 // global outcome history, newest bit in bit 0
+	path    uint64 // folded path history of branch PCs
+	theta   int32
+	stats   Stats
 }
 
 // New builds a predictor; the configuration is validated first.
@@ -115,20 +121,25 @@ func New(cfg Config) (*Predictor, error) {
 	}
 	cfg = cfg.withDefaults()
 	p := &Predictor{
-		cfg:   cfg,
-		mask:  uint64(1)<<cfg.TableBits - 1,
-		theta: int32(cfg.ThetaOverride),
+		cfg:     cfg,
+		ntables: len(cfg.HistoryLengths),
+		mask:    uint64(1)<<cfg.TableBits - 1,
+		theta:   int32(cfg.ThetaOverride),
 	}
-	p.tables = make([][]int16, len(cfg.HistoryLengths))
-	for t := range p.tables {
-		p.tables[t] = make([]int16, 1<<cfg.TableBits)
-	}
+	p.weights = make([]int16, p.ntables<<cfg.TableBits)
 	return p, nil
 }
 
+// Tables returns how many weight tables the predictor has.
+func (p *Predictor) Tables() int { return p.ntables }
+
+// TableEntries returns the entry count of each weight table.
+func (p *Predictor) TableEntries() int { return 1 << p.cfg.TableBits }
+
 // Outcome carries one prediction's working state from Predict to
 // Update. The indices live in a fixed-size array (bounded by
-// MaxTables) so the Predict/Update round trip is allocation-free.
+// MaxTables) so the Predict/Update round trip is allocation-free; each
+// entry is an offset into the flat weight slab, table base included.
 type Outcome struct {
 	Taken   bool
 	Sum     int32
@@ -163,9 +174,10 @@ func (p *Predictor) index(t int, pc uint64) uint64 {
 //ghrp:hotpath
 func (p *Predictor) Predict(pc uint64) Outcome {
 	var o Outcome
-	for t := range p.tables {
-		o.indices[t] = p.index(t, pc)
-		o.Sum += int32(p.tables[t][o.indices[t]])
+	for t := 0; t < p.ntables; t++ {
+		i := uint64(t)<<p.cfg.TableBits | p.index(t, pc)
+		o.indices[t] = i
+		o.Sum += int32(p.weights[i])
 	}
 	o.Taken = o.Sum >= 0
 	return o
@@ -187,8 +199,8 @@ func (p *Predictor) Update(o Outcome, pc uint64, taken bool) {
 		mag = -mag
 	}
 	if mispredicted || mag <= p.theta {
-		for t := range p.tables {
-			w := int32(p.tables[t][o.indices[t]])
+		for t := 0; t < p.ntables; t++ {
+			w := int32(p.weights[o.indices[t]])
 			if taken {
 				if w < int32(p.cfg.WeightMax) {
 					w++
@@ -196,7 +208,7 @@ func (p *Predictor) Update(o Outcome, pc uint64, taken bool) {
 			} else if w > -int32(p.cfg.WeightMax) {
 				w--
 			}
-			p.tables[t][o.indices[t]] = int16(w)
+			p.weights[o.indices[t]] = int16(w)
 		}
 	}
 	p.pushHistory(pc, taken)
@@ -226,10 +238,8 @@ func (p *Predictor) ResetStats() { p.stats = Stats{} }
 
 // Reset clears weights, histories and statistics.
 func (p *Predictor) Reset() {
-	for t := range p.tables {
-		for i := range p.tables[t] {
-			p.tables[t][i] = 0
-		}
+	for i := range p.weights {
+		p.weights[i] = 0
 	}
 	p.ghr, p.path = 0, 0
 	p.stats = Stats{}

@@ -50,7 +50,11 @@ type Options struct {
 	// one task: its program is executed once and the record stream drives
 	// every uncached policy lane in lockstep (frontend.SimulateFanOut),
 	// so adding policies costs policy work, not extra executor passes.
-	// Defaults to GOMAXPROCS.
+	// When the suite has fewer workloads than Parallelism, the surplus is
+	// spent inside each task: lane replay splits across
+	// Parallelism/tasks goroutines (frontend.SimulateFanOutSplit), so a
+	// few long workloads still use the whole machine. Results are
+	// bit-identical at any setting. Defaults to GOMAXPROCS.
 	Parallelism int
 	// ExecSeed seeds workload execution (fixed across policies so every
 	// policy replays the identical trace). The zero value means "unset"
@@ -269,6 +273,10 @@ type runState struct {
 	states  []wlState
 	errs    []error // one slot per workload, joined after the wait
 	observe obs.Observer
+	// laneWorkers is the per-task lane-replay width: the parallelism
+	// left over after one worker per workload has been provisioned.
+	// Above one, fused replays run through SimulateFanOutSplit.
+	laneWorkers int
 }
 
 // RunContext simulates every workload under every policy. The schedule
@@ -349,6 +357,9 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	if workers > n {
 		workers = n
 	}
+	// Parallelism beyond one worker per workload splits lane replay
+	// inside each task instead of idling.
+	r.laneWorkers = opts.Parallelism / workers
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -657,7 +668,13 @@ func (r *runState) runTask(ctx context.Context, t task) error {
 			return nil
 		},
 	}
-	results, err := frontend.SimulateFanOut(opts.Config, kinds, st.prog, opts.ExecSeed, target, st.warm, so)
+	var results []frontend.Result
+	var err error
+	if r.laneWorkers > 1 && len(missing) > 1 {
+		results, err = frontend.SimulateFanOutSplit(opts.Config, kinds, st.prog, opts.ExecSeed, target, st.warm, r.laneWorkers, so)
+	} else {
+		results, err = frontend.SimulateFanOut(opts.Config, kinds, st.prog, opts.ExecSeed, target, st.warm, so)
+	}
 	if err != nil {
 		return w.fault(err)
 	}
