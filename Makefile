@@ -5,7 +5,7 @@ GO ?= go
 # session: make fuzz-smoke FUZZTIME=5m
 FUZZTIME ?= 3s
 
-.PHONY: build vet lint test race-smoke fault-smoke fuzz-smoke golden-update bench bench-smoke ci
+.PHONY: build vet lint test race-smoke fault-smoke fuzz-smoke golden-update bench bench-smoke daemon-smoke ci
 
 build:
 	$(GO) build ./...
@@ -26,14 +26,15 @@ test:
 	$(GO) test ./...
 
 # race-smoke runs the packages with concurrency-sensitive code — the
-# suite scheduler, the observers, the fan-out engine, the result cache
-# and the fault-injection harness — in full under the race detector.
-# This replaced a -run regex that had drifted from the test inventory:
-# a package-list run cannot drop newly added concurrency tests from the
-# smoke set. (The full module under -race stays out of routine CI; these
-# five packages hold all of the goroutine coordination.)
+# suite scheduler, the observers, the fan-out engine, the result cache,
+# the fault-injection harness, and the serving daemon with its e2e
+# harness — in full under the race detector. This replaced a -run regex
+# that had drifted from the test inventory: a package-list run cannot
+# drop newly added concurrency tests from the smoke set. (The full
+# module under -race stays out of routine CI; these packages hold all
+# of the goroutine coordination.)
 race-smoke:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/obs/ ./internal/frontend/ ./internal/resultcache/ ./internal/faultinject/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/obs/ ./internal/frontend/ ./internal/resultcache/ ./internal/faultinject/ ./internal/serve/ ./cmd/ghrpd/
 
 # fault-smoke focuses on the suite runner's failure paths — injected
 # panics, stalls, transient errors, cache corruption and keep-going
@@ -51,11 +52,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceReader$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/trace/
 
-# golden-update rewrites the renderer golden files under
-# internal/sim/testdata. Renderer output changes fail `make test` until
-# the goldens are regenerated here and the diff is reviewed.
+# golden-update rewrites the golden files: the renderer goldens under
+# internal/sim/testdata and the daemon's run-status API document under
+# internal/serve/testdata. Output changes fail `make test` until the
+# goldens are regenerated here and the diff is reviewed.
 golden-update:
 	$(GO) test -run TestGolden -update ./internal/sim/
+	$(GO) test -run TestGolden -update ./internal/serve/
 
 # bench regenerates BENCH_PR6.json: the fused fan-out replay measured
 # against the per-policy baseline across the full roster x parallelism
@@ -72,4 +75,11 @@ bench-smoke:
 	$(GO) run ./cmd/bench -n 2 -scale 0.02 -repeat 2
 	$(GO) run ./cmd/bench -n 2 -scale 0.015 -matrix
 
-ci: build vet lint test race-smoke fuzz-smoke bench-smoke
+# daemon-smoke builds and starts ghrpd on an ephemeral port, submits one
+# tiny run over real HTTP, follows its SSE stream to completion, fetches
+# the result and figures, and drains cleanly — the build-start-serve-
+# shutdown path in one self-checking command (docs/API.md).
+daemon-smoke:
+	$(GO) run ./cmd/ghrpd -addr 127.0.0.1:0 -smoke
+
+ci: build vet lint test race-smoke fuzz-smoke bench-smoke daemon-smoke

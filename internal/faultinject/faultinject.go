@@ -36,6 +36,11 @@ const (
 	// OpCacheCorrupt fires after a successful result-cache write; a
 	// firing rule asks the hook to corrupt the just-written entry.
 	OpCacheCorrupt Op = "cache-corrupt"
+	// OpServeJob fires in the serving daemon's executor at the start of
+	// one accepted job, outside the sim scheduler's own containment —
+	// proving the daemon turns even executor-level faults into a failed
+	// job status instead of dying.
+	OpServeJob Op = "serve-job"
 )
 
 // Action is what a firing rule does to the caller.

@@ -204,6 +204,11 @@ var deterministicPackages = map[string]bool{
 	"stats":       true,
 	"trace":       true,
 	"resultcache": true,
+	// serve's job outputs (run results) must be a pure function of the
+	// normalized submission for content-addressed dedup to be sound; its
+	// two legitimate wall-clock uses (run timestamps, SSE keep-alive
+	// pacing) carry written ignores.
+	"serve": true,
 }
 
 // deterministic reports whether the package is part of the

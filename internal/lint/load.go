@@ -8,6 +8,7 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
@@ -50,6 +51,13 @@ func (m importerMap) Import(path string) (*types.Package, error) {
 	if p, ok := m[path]; ok {
 		return p, nil
 	}
+	// Standard-library sources import their vendored dependencies by the
+	// unvendored path (e.g. net/http's TLS stack pulling in
+	// golang.org/x/crypto/...), while go list reports those packages
+	// under "vendor/".
+	if p, ok := m["vendor/"+path]; ok {
+		return p, nil
+	}
 	return nil, fmt.Errorf("lint: import %q not loaded", path)
 }
 
@@ -62,6 +70,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
+	// Cgo sources (net's system resolver, for one) cannot be
+	// type-checked from raw source — their _C_ symbols only exist after
+	// cgo preprocessing. Pin CGO_ENABLED=0 so go list selects the
+	// pure-Go file set; the module itself never uses cgo.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	out, err := cmd.Output()
 	if err != nil {
 		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHubReplayThenTail(t *testing.T) {
+	h := NewHub()
+	h.Observe(Event{Kind: RunStart, Workloads: 2})
+	h.Observe(Event{Kind: WorkloadStart, Workload: "SM-001"})
+
+	// A late subscriber replays the stored log first.
+	sub := h.Subscribe()
+	defer sub.Cancel()
+	e, ok, _ := sub.Next()
+	if !ok || e.Kind != RunStart {
+		t.Fatalf("first replayed event = %v ok=%v, want RunStart", e.Kind, ok)
+	}
+	e, ok, _ = sub.Next()
+	if !ok || e.Kind != WorkloadStart {
+		t.Fatalf("second replayed event = %v ok=%v, want WorkloadStart", e.Kind, ok)
+	}
+	if _, ok, more := sub.Next(); ok || !more {
+		t.Fatalf("drained open hub: ok=%v more=%v, want false true", ok, more)
+	}
+
+	// Then tails live events.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.Observe(Event{Kind: RunDone})
+		h.Close()
+	}()
+	<-sub.Wait()
+	<-done
+	e, ok, _ = sub.Next()
+	if !ok || e.Kind != RunDone {
+		t.Fatalf("tailed event = %v ok=%v, want RunDone", e.Kind, ok)
+	}
+	if _, ok, more := sub.Next(); ok || more {
+		t.Fatalf("closed drained hub: ok=%v more=%v, want false false", ok, more)
+	}
+}
+
+func TestHubWaitPreClosedWhenPending(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe()
+	defer sub.Cancel()
+	h.Observe(Event{Kind: RunStart})
+	select {
+	case <-sub.Wait():
+	default:
+		t.Fatal("Wait() not pre-closed with a pending event")
+	}
+	h2 := NewHub()
+	sub2 := h2.Subscribe()
+	defer sub2.Cancel()
+	h2.Close()
+	select {
+	case <-sub2.Wait():
+	default:
+		t.Fatal("Wait() not pre-closed on a closed hub")
+	}
+}
+
+func TestHubObserveAfterCloseDropped(t *testing.T) {
+	h := NewHub()
+	h.Close()
+	h.Observe(Event{Kind: RunStart})
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after post-close Observe, want 0", h.Len())
+	}
+	if !h.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestHubSubscriberCount(t *testing.T) {
+	h := NewHub()
+	a, b := h.Subscribe(), h.Subscribe()
+	if n := h.Subscribers(); n != 2 {
+		t.Fatalf("Subscribers = %d, want 2", n)
+	}
+	a.Cancel()
+	a.Cancel() // idempotent
+	if n := h.Subscribers(); n != 1 {
+		t.Fatalf("Subscribers = %d after cancel, want 1", n)
+	}
+	b.Cancel()
+	if n := h.Subscribers(); n != 0 {
+		t.Fatalf("Subscribers = %d, want 0", n)
+	}
+}
+
+// TestHubConcurrent drives one emitter against several tailing
+// subscribers under -race: every subscriber must see the full sequence
+// in order, and the emitter must never block on a slow consumer.
+func TestHubConcurrent(t *testing.T) {
+	const events = 500
+	h := NewHub()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		sub := h.Subscribe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sub.Cancel()
+			seen := 0
+			for {
+				e, ok, more := sub.Next()
+				if ok {
+					if int(e.WorkloadIndex) != seen {
+						t.Errorf("event %d out of order: index %d", seen, e.WorkloadIndex)
+						return
+					}
+					seen++
+					continue
+				}
+				if !more {
+					break
+				}
+				<-sub.Wait()
+			}
+			if seen != events {
+				t.Errorf("subscriber saw %d events, want %d", seen, events)
+			}
+		}()
+	}
+	for i := 0; i < events; i++ {
+		h.Observe(Event{Kind: Tick, WorkloadIndex: i})
+	}
+	h.Close()
+	wg.Wait()
+}

@@ -126,6 +126,15 @@ func CountKeyFor(spec workload.Spec, cfg frontend.Config, execSeed, target uint6
 	})
 }
 
+// KeyOf hashes an arbitrary canonically-JSON-encodable value into a
+// Key: the SHA-256 of its JSON encoding. It is the generic
+// content-addressing primitive behind KeyFor/CountKeyFor, exported for
+// layers that need the same identity scheme over their own cell types —
+// the serving daemon keys submitted runs with it so identical
+// submissions deduplicate to one execution. Callers own versioning:
+// include a schema-version field in v, as cell and countCell do.
+func KeyOf(v any) (Key, error) { return keyOf(v) }
+
 func keyOf(v any) (Key, error) {
 	blob, err := json.Marshal(v)
 	if err != nil {

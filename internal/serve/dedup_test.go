@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"ghrpsim/internal/resultcache"
+)
+
+// TestE2EDedup is the headline guarantee: N concurrent identical
+// submissions execute the simulation once and every client downloads
+// bit-identical result bytes. The submissions deliberately differ in
+// parallelism and progress_every — presentation knobs that are excluded
+// from the dedup identity because they cannot change results.
+func TestE2EDedup(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Slots: 2, QueueDepth: 8,
+		Defaults: Defaults{JobParallelism: 2, Cache: cache}})
+
+	const clients = 8
+	bodies := make([]string, clients)
+	for i := range bodies {
+		// Same simulation identity, different pacing knobs per client.
+		bodies[i] = `{"suite_n": 2, "policies": ["LRU", "GHRP"], "scale": 0.001, ` +
+			`"parallelism": ` + []string{"1", "2", "3", "4"}[i%4] +
+			`, "progress_every": ` + []string{"256", "512", "1024", "2048"}[i%4] + `}`
+	}
+
+	var (
+		wg    sync.WaitGroup
+		subs  = make([]SubmitResponse, clients)
+		codes = make([]int, clients)
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(bodies[i]))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			if err := json.NewDecoder(resp.Body).Decode(&subs[i]); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Exactly one submission created the run; the rest joined it, all
+	// under the same content-addressed id.
+	created, id := 0, ""
+	for i, sub := range subs {
+		if sub.Created {
+			created++
+			if codes[i] != http.StatusCreated {
+				t.Errorf("creating client %d: code %d", i, codes[i])
+			}
+		} else if codes[i] != http.StatusOK {
+			t.Errorf("joining client %d: code %d", i, codes[i])
+		}
+		if id == "" {
+			id = sub.Status.ID
+		} else if sub.Status.ID != id {
+			t.Fatalf("client %d got run %s, others %s", i, sub.Status.ID, id)
+		}
+	}
+	if created != 1 {
+		t.Fatalf("%d submissions created runs, want exactly 1", created)
+	}
+	if s.Store().Len() != 1 {
+		t.Fatalf("store retains %d runs, want 1", s.Store().Len())
+	}
+
+	doc := waitState(t, ts, id, StateDone)
+	if doc.Submits != clients {
+		t.Fatalf("run counted %d submits, want %d", doc.Submits, clients)
+	}
+
+	// Every client's download is bit-identical — the result document is
+	// marshaled exactly once per run.
+	var first []byte
+	for i := 0; i < clients; i++ {
+		resp, err := http.Get(ts.URL + "/runs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(blob) == 0 {
+			t.Fatalf("client %d result: code %d, %d bytes", i, resp.StatusCode, len(blob))
+		}
+		if first == nil {
+			first = blob
+		} else if !bytes.Equal(blob, first) {
+			t.Fatalf("client %d downloaded different result bytes", i)
+		}
+	}
+
+	// The cache counters prove one execution: 4 cells (2 workloads x
+	// 2 policies) simulated cold, none served from cache — the sim ran
+	// once, not once per client.
+	var result ResultDoc
+	if err := json.Unmarshal(first, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.Stats.CacheMisses != 4 || result.Stats.CacheHits != 0 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 0/4 (single execution)",
+			result.Stats.CacheHits, result.Stats.CacheMisses)
+	}
+
+	// A duplicate arriving after completion still joins (created=false)
+	// and sees the finished run immediately.
+	late, code := submit(t, ts, bodies[0])
+	if code != http.StatusOK || late.Created || late.Status.ID != id {
+		t.Fatalf("late duplicate: code %d created %v id %s", code, late.Created, late.Status.ID)
+	}
+	if late.Status.State != string(StateDone) || late.Status.Submits != clients+1 {
+		t.Fatalf("late duplicate status: state %s submits %d", late.Status.State, late.Status.Submits)
+	}
+
+	// A submission differing in *simulation* identity (exec_seed) is NOT
+	// deduplicated: it creates a distinct run (and its cells miss the
+	// shared result cache, since the seed is part of each cell's key).
+	other, code := submit(t, ts, `{"suite_n": 2, "policies": ["LRU", "GHRP"], "scale": 0.001, "exec_seed": 7}`)
+	if code != http.StatusCreated || !other.Created || other.Status.ID == id {
+		t.Fatalf("distinct-seed submit: code %d created %v", code, other.Created)
+	}
+	waitState(t, ts, other.Status.ID, StateDone)
+
+	// Identical resubmission THROUGH the result cache: delete the done
+	// run, submit the same body again — a fresh run executes but every
+	// cell is served from the on-disk cache (4 hits, 0 misses), so the
+	// daemon never re-simulates work it has already done.
+	if code := del(t, ts, id); code != http.StatusOK {
+		t.Fatalf("delete done run: code %d", code)
+	}
+	again, code := submit(t, ts, bodies[0])
+	if code != http.StatusCreated || !again.Created {
+		t.Fatalf("resubmit after delete: code %d created %v", code, again.Created)
+	}
+	if again.Status.ID != id {
+		t.Fatalf("resubmitted run id %s, want the same content address %s", again.Status.ID, id)
+	}
+	waitState(t, ts, id, StateDone)
+	resp, err := http.Get(ts.URL + "/runs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var warmDoc ResultDoc
+	if err := json.Unmarshal(warm, &warmDoc); err != nil {
+		t.Fatal(err)
+	}
+	if warmDoc.Stats.CacheHits != 4 || warmDoc.Stats.CacheMisses != 0 {
+		t.Fatalf("warm rerun cache counters hits=%d misses=%d, want 4/0",
+			warmDoc.Stats.CacheHits, warmDoc.Stats.CacheMisses)
+	}
+	// And the warm rerun's MPKI payload matches the cold one's exactly.
+	if !bytes.Equal(stripStats(t, warm), stripStats(t, first)) {
+		t.Fatal("warm rerun result differs from the cold execution")
+	}
+}
+
+// stripStats re-marshals a ResultDoc without its Stats block (wall time
+// and cache counters legitimately differ between executions).
+func stripStats(t *testing.T, blob []byte) []byte {
+	t.Helper()
+	var doc ResultDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc.Stats = RunStatsDoc{}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ghrpsim/internal/faultinject"
+	"ghrpsim/internal/resultcache"
+)
+
+// tinyRun is a fast end-to-end submission: two workloads, two policies,
+// ~1000 instructions each, ticking often enough that SSE streams see
+// live events.
+const tinyRun = `{"suite_n": 2, "policies": ["LRU", "GHRP"], "scale": 0.001, "progress_every": 256}`
+
+// newTestServer starts a Server behind a real httptest listener and
+// tears both down with a bounded drain.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		ts.Close()
+	})
+	return s, ts
+}
+
+// submit POSTs body to /runs and decodes the response envelope.
+func submit(t *testing.T, ts *httptest.Server, body string) (SubmitResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SubmitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return out, resp.StatusCode
+}
+
+// getJSON GETs path and decodes into v, returning the status code.
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// del issues DELETE /runs/{id}.
+func del(t *testing.T, ts *httptest.Server, id string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// waitState polls the run's status until it reaches one of the wanted
+// states, failing the test on timeout.
+func waitState(t *testing.T, ts *httptest.Server, id string, want ...State) StatusDoc {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var doc StatusDoc
+		code := getJSON(t, ts, "/runs/"+id, &doc)
+		if code == http.StatusOK {
+			for _, w := range want {
+				if doc.State == string(w) {
+					return doc
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s never reached %v; last status %d state %q error %q",
+				id, want, code, doc.State, doc.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readSSE consumes one /events stream to its end, returning the event
+// frames and the terminal status frame (ok=false if the stream ended
+// without one — e.g. the client disconnected first).
+func readSSE(t *testing.T, body io.Reader) (events []EventDoc, final StatusDoc, ok bool) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	current := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			current = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch current {
+			case "event":
+				var e EventDoc
+				if err := json.Unmarshal([]byte(data), &e); err != nil {
+					t.Fatalf("bad event frame %q: %v", data, err)
+				}
+				events = append(events, e)
+			case "status":
+				if err := json.Unmarshal([]byte(data), &final); err != nil {
+					t.Fatalf("bad status frame %q: %v", data, err)
+				}
+				ok = true
+			}
+		}
+	}
+	return events, final, ok
+}
+
+// TestE2ELifecycle drives the full happy path over real HTTP: submit,
+// stream events to completion, fetch result and figures, then delete.
+func TestE2ELifecycle(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Slots: 2, QueueDepth: 4,
+		Defaults: Defaults{JobParallelism: 2, Cache: cache}})
+
+	sub, code := submit(t, ts, tinyRun)
+	if code != http.StatusCreated || !sub.Created {
+		t.Fatalf("submit: code=%d created=%v", code, sub.Created)
+	}
+	id := sub.Status.ID
+	if len(sub.Status.Request.Workloads) != 2 || len(sub.Status.Request.Policies) != 2 {
+		t.Fatalf("normalized request = %+v, want 2 workloads x 2 policies", sub.Status.Request)
+	}
+
+	resp, err := http.Get(ts.URL + "/runs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	events, final, sawFinal := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if !sawFinal {
+		t.Fatal("SSE stream ended without a terminal status frame")
+	}
+	if final.State != string(StateDone) {
+		t.Fatalf("terminal state = %q (error %q), want done", final.State, final.Error)
+	}
+	kinds := map[string]int{}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds["run-start"] != 1 || kinds["run-done"] != 1 {
+		t.Fatalf("event kinds = %v, want exactly one run-start and run-done", kinds)
+	}
+	if kinds["workload-done"] != 2 {
+		t.Fatalf("event kinds = %v, want 2 workload-done", kinds)
+	}
+	if final.Progress.WorkloadsDone != 2 || final.Progress.Workloads != 2 {
+		t.Fatalf("final progress = %+v", final.Progress)
+	}
+
+	var result ResultDoc
+	if code := getJSON(t, ts, "/runs/"+id+"/result", &result); code != http.StatusOK {
+		t.Fatalf("result: code %d", code)
+	}
+	if result.ID != id || len(result.Workloads) != 2 || len(result.Policies) != 2 {
+		t.Fatalf("result doc = id %q, %d workloads, %d policies", result.ID, len(result.Workloads), len(result.Policies))
+	}
+	for _, p := range result.Policies {
+		if len(result.ICacheMPKI[p]) != 2 || len(result.BTBMPKI[p]) != 2 {
+			t.Fatalf("MPKI vectors for %s: icache %d, btb %d", p, len(result.ICacheMPKI[p]), len(result.BTBMPKI[p]))
+		}
+	}
+	if result.Stats.Records == 0 || result.Stats.CacheMisses != 4 {
+		t.Fatalf("result stats = %+v, want records > 0 and 4 simulated cells", result.Stats)
+	}
+
+	fresp, err := http.Get(ts.URL + "/runs/" + id + "/figures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	figures, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK || !bytes.Contains(figures, []byte("mean MPKI")) {
+		t.Fatalf("figures: code %d body %q", fresp.StatusCode, figures)
+	}
+
+	// Listing includes the run; deleting a finished run forgets it.
+	var list []StatusDoc
+	if code := getJSON(t, ts, "/runs", &list); code != http.StatusOK || len(list) != 1 || list[0].ID != id {
+		t.Fatalf("list: code %d, %d runs", code, len(list))
+	}
+	if code := del(t, ts, id); code != http.StatusOK {
+		t.Fatalf("delete finished run: code %d", code)
+	}
+	if code := getJSON(t, ts, "/runs/"+id, nil); code != http.StatusNotFound {
+		t.Fatalf("status after delete: code %d, want 404", code)
+	}
+}
+
+// TestE2ECancel stalls a job at its first progress report (deterministic
+// fault injection), cancels it over HTTP, and checks the run — not the
+// daemon — dies.
+func TestE2ECancel(t *testing.T) {
+	faults := faultinject.New(faultinject.Rule{Op: faultinject.OpProgress, Action: faultinject.Stall})
+	_, ts := newTestServer(t, Config{Slots: 1, QueueDepth: 4, Faults: faults,
+		Defaults: Defaults{JobParallelism: 1}})
+
+	sub, code := submit(t, ts, `{"suite_n": 1, "policies": ["LRU"], "scale": 0.01, "progress_every": 256}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: code %d", code)
+	}
+	id := sub.Status.ID
+	waitState(t, ts, id, StateRunning)
+
+	if code := del(t, ts, id); code != http.StatusAccepted {
+		t.Fatalf("cancel: code %d, want 202", code)
+	}
+	doc := waitState(t, ts, id, StateCancelled)
+	if !strings.Contains(doc.Error, "cancelled") {
+		t.Fatalf("cancelled run error = %q", doc.Error)
+	}
+	if code := getJSON(t, ts, "/runs/"+id+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("result of cancelled run: code %d, want 409", code)
+	}
+
+	// The daemon is fine: a fresh (distinct) run completes.
+	sub2, code := submit(t, ts, tinyRun)
+	if code != http.StatusCreated {
+		t.Fatalf("post-cancel submit: code %d", code)
+	}
+	waitState(t, ts, sub2.Status.ID, StateDone)
+}
+
+// TestE2EDisconnect drops an SSE client mid-stream and checks the
+// subscriber is freed while the job runs to completion unbothered.
+func TestE2EDisconnect(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 1, QueueDepth: 4, Defaults: Defaults{JobParallelism: 1}})
+
+	sub, _ := submit(t, ts, `{"suite_n": 2, "policies": ["LRU", "GHRP"], "scale": 0.05, "progress_every": 256}`)
+	id := sub.Status.ID
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/runs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one line to be sure the stream is attached, then vanish.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first SSE line: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	doc := waitState(t, ts, id, StateDone)
+	if doc.Error != "" {
+		t.Fatalf("run error after disconnect = %q", doc.Error)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var d StatusDoc
+		getJSON(t, ts, "/runs/"+id, &d)
+		if d.Subscribers == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber never freed: %d attached", d.Subscribers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestE2EAdmissionControl fills the single slot and the queue with
+// stalled jobs and checks the overflow submission is answered 429 —
+// and that cancelling both queued and running jobs frees the daemon.
+func TestE2EAdmissionControl(t *testing.T) {
+	// Every job stalls at its serve-job injection site until cancelled.
+	faults := faultinject.New(faultinject.Rule{Op: faultinject.OpServeJob, Action: faultinject.Stall, Count: 100})
+	_, ts := newTestServer(t, Config{Slots: 1, QueueDepth: 1, Faults: faults,
+		Defaults: Defaults{JobParallelism: 1}})
+
+	mk := func(n int) string {
+		return fmt.Sprintf(`{"suite_n": 1, "policies": ["LRU"], "scale": 0.001, "exec_seed": %d}`, n+1)
+	}
+	subA, code := submit(t, ts, mk(0)) // occupies the slot, stalled
+	if code != http.StatusCreated {
+		t.Fatalf("submit A: code %d", code)
+	}
+	waitState(t, ts, subA.Status.ID, StateRunning)
+	subB, code := submit(t, ts, mk(1)) // sits in the queue
+	if code != http.StatusCreated {
+		t.Fatalf("submit B: code %d", code)
+	}
+	if _, code := submit(t, ts, mk(2)); code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: code %d, want 429", code)
+	}
+	// A rejected submission leaves no residue: the store holds A and B.
+	var list []StatusDoc
+	if getJSON(t, ts, "/runs", &list); len(list) != 2 {
+		t.Fatalf("store holds %d runs after rejection, want 2", len(list))
+	}
+
+	// Cancel the queued run, then the running one; both reach
+	// cancelled (B without ever starting).
+	del(t, ts, subB.Status.ID)
+	del(t, ts, subA.Status.ID)
+	waitState(t, ts, subA.Status.ID, StateCancelled)
+	waitState(t, ts, subB.Status.ID, StateCancelled)
+
+	// With the pipeline empty the overflow submission now lands.
+	sub, code := submit(t, ts, mk(2))
+	if code != http.StatusCreated {
+		t.Fatalf("post-cancel submit: code %d", code)
+	}
+	waitState(t, ts, sub.Status.ID, StateRunning)
+	del(t, ts, sub.Status.ID)
+}
+
+// TestE2EDrain checks graceful shutdown: intake turns 503, a stalled
+// job is cancelled at the drain deadline, and the drain returns.
+func TestE2EDrain(t *testing.T) {
+	faults := faultinject.New(faultinject.Rule{Op: faultinject.OpServeJob, Action: faultinject.Stall})
+	s, ts := newTestServer(t, Config{Slots: 1, QueueDepth: 1, Faults: faults,
+		Defaults: Defaults{JobParallelism: 1}})
+
+	sub, _ := submit(t, ts, `{"suite_n": 1, "policies": ["LRU"], "scale": 0.001}`)
+	waitState(t, ts, sub.Status.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s.Drain(ctx)
+
+	var health HealthDoc
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK || !health.Draining {
+		t.Fatalf("healthz during drain: code %d, %+v", code, health)
+	}
+	if _, code := submit(t, ts, tinyRun); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: code %d, want 503", code)
+	}
+	doc := waitState(t, ts, sub.Status.ID, StateCancelled)
+	if !strings.Contains(doc.Error, "draining") {
+		t.Fatalf("drained run error = %q", doc.Error)
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleEvents is GET /runs/{id}/events: the run's event log as
+// Server-Sent Events. A subscriber replays the stored log from the
+// beginning, then tails live events; when the run ends it receives one
+// terminal "status" event carrying the final StatusDoc and the stream
+// closes. Disconnecting mid-stream frees the subscription without
+// touching the job — the hub never blocks the emitter on a consumer.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		// The transport cannot stream (no flusher); nothing to serve.
+		return
+	}
+
+	sub := run.Hub().Subscribe()
+	defer sub.Cancel()
+	// Keep-alive comments let proxies and clients distinguish a quiet
+	// run from a dead connection.
+	beat := time.NewTicker(s.beat) //ghrplint:ignore detwallclock SSE keep-alive pacing is a transport concern; no simulation result depends on it
+	defer beat.Stop()
+
+	seq := 0
+	for {
+		e, ok, more := sub.Next()
+		if ok {
+			if err := writeSSE(w, "event", eventDoc(seq, e)); err != nil {
+				return
+			}
+			seq++
+			rc.Flush()
+			continue
+		}
+		if !more {
+			// Stream complete: the hub closes only after the run's
+			// terminal state is readable, so this snapshot is final.
+			writeSSE(w, "status", run.status())
+			rc.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Wait():
+		case <-beat.C:
+			fmt.Fprint(w, ": keep-alive\n\n")
+			rc.Flush()
+		}
+	}
+}
+
+// writeSSE writes one SSE frame: `event: <name>` and a JSON data line.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
+	return err
+}

@@ -391,6 +391,41 @@ func RenderWinLoss(rows []WinLossRow, st Structure, total int) string {
 }
 
 // ---------------------------------------------------------------------
+// Figure bundle — the one-call text summary of a finished run.
+
+// Figures renders the run's standard figure bundle as one text
+// document: for each structure the headline MPKI table, the Fig. 8
+// confidence intervals and the Fig. 9 win/loss counts. Keep-going runs
+// are filtered to their completed workloads first. Runs whose policy
+// set omits LRU fall back to a plain per-policy mean table, since the
+// paper's comparative figures are all LRU-relative. It is the serving
+// daemon's GET /runs/{id}/figures payload and a convenient one-call
+// summary for library users.
+func Figures(m *Measurements) string {
+	c := m.Completed()
+	var b strings.Builder
+	if len(c.Specs) == 0 {
+		b.WriteString("no completed workloads\n")
+		return b.String()
+	}
+	_, hasLRU := c.PolicyIndex(frontend.PolicyLRU)
+	for _, st := range []Structure{ICache, BTB} {
+		if hasLRU {
+			b.WriteString(ComputeHeadline(c, st).Render())
+			b.WriteString(RenderCI(ComputeCI(c, st), st))
+			b.WriteString(RenderWinLoss(ComputeWinLoss(c, st), st, len(c.Specs)))
+		} else {
+			fmt.Fprintf(&b, "%s mean MPKI over %d workloads\n", st, len(c.Specs))
+			for _, k := range c.Policies {
+				fmt.Fprintf(&b, "  %-8s %10.3f\n", k, stats.Mean(c.mpkiOf(st, k)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
 // Figs. 1 and 5 — efficiency heat maps.
 
 // HeatmapResult is one policy's efficiency rendering.

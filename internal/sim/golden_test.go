@@ -116,6 +116,7 @@ func TestGoldenRenderers(t *testing.T) {
 		{"ci", RenderCI(ComputeCI(m, ICache), ICache) + RenderCI(ComputeCI(m, BTB), BTB)},
 		{"winloss", RenderWinLoss(ComputeWinLoss(m, ICache), ICache, len(m.Specs)) +
 			RenderWinLoss(ComputeWinLoss(m, BTB), BTB, len(m.Specs))},
+		{"figures", Figures(m)},
 		{"ablation", RenderAblation("majority vote vs summation", []AblationRow{
 			{Variant: "summation (paper)", ICacheMPKI: 2.125, BTBMPKI: 1.0625},
 			{Variant: "majority vote", ICacheMPKI: 2.5, BTBMPKI: 1.25},
