@@ -5,7 +5,7 @@ GO ?= go
 # session: make fuzz-smoke FUZZTIME=5m
 FUZZTIME ?= 3s
 
-.PHONY: build vet lint test race-smoke fault-smoke fuzz-smoke golden-update bench bench-smoke daemon-smoke ci
+.PHONY: build vet lint test race-smoke fault-smoke fuzz-smoke golden-update bench bench-smoke daemon-smoke dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,7 @@ test:
 # module under -race stays out of routine CI; these packages hold all
 # of the goroutine coordination.)
 race-smoke:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/obs/ ./internal/frontend/ ./internal/resultcache/ ./internal/faultinject/ ./internal/serve/ ./cmd/ghrpd/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/obs/ ./internal/frontend/ ./internal/resultcache/ ./internal/faultinject/ ./internal/serve/ ./internal/dist/ ./cmd/ghrpd/
 
 # fault-smoke focuses on the suite runner's failure paths — injected
 # panics, stalls, transient errors, cache corruption and keep-going
@@ -82,4 +82,14 @@ bench-smoke:
 daemon-smoke:
 	$(GO) run ./cmd/ghrpd -addr 127.0.0.1:0 -smoke
 
-ci: build vet lint test race-smoke fuzz-smoke bench-smoke daemon-smoke
+# dist-smoke is the distributed runner's crash drill: build the real
+# ghrpd binary, spawn two workers through the coordinator, SIGKILL one
+# of them at its first dispatched shard, and require the merged result
+# to be bit-identical to a single-process run of the same suite
+# (DESIGN.md §9). Exit is nonzero on any mismatch.
+dist-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/ghrpd ./cmd/ghrpd
+	$(GO) run ./cmd/ghrpdist -smoke -worker-cmd ./bin/ghrpd
+
+ci: build vet lint test race-smoke fuzz-smoke bench-smoke daemon-smoke dist-smoke

@@ -60,6 +60,7 @@ func main() {
 		stallTO  = flag.Duration("stall-timeout", 0, "per-task progress stall watchdog (0 = none)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for queued and running jobs")
 		smoke    = flag.Bool("smoke", false, "run the end-to-end self-test and exit")
+		announce = flag.Bool("announce", false, "print the base URL to stdout once listening (for spawning coordinators)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "ghrpd: ", log.LstdFlags)
@@ -98,6 +99,11 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	logger.Printf("listening on http://%s", ln.Addr())
+	if *announce {
+		// One machine-readable line on stdout: the contract the dist
+		// coordinator's worker spawner parses (logs stay on stderr).
+		fmt.Printf("http://%s\n", ln.Addr())
+	}
 
 	if *smoke {
 		err := runSmoke(logger, "http://"+ln.Addr().String(), srv, httpSrv, *drain)

@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ghrpsim/internal/obs"
+	"ghrpsim/internal/serve"
+)
+
+func testClient(t *testing.T, h http.Handler, events obs.Observer) *Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, fastRetry(), nil, events, "test")
+}
+
+func TestClientRetriesTransientStatuses(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{"id":"x","state":"done"}`)
+	})
+	var retries atomic.Int64
+	c := testClient(t, h, func(e obs.Event) {
+		if e.Kind == obs.DistRetry {
+			retries.Add(1)
+		}
+	})
+	st, err := c.Status(context.Background(), "x")
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.State != "done" || calls.Load() != 3 || retries.Load() != 2 {
+		t.Errorf("state=%q calls=%d retries=%d, want done/3/2", st.State, calls.Load(), retries.Load())
+	}
+}
+
+func TestClientHonorsRetryAfterCapped(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// An uncapped client would sleep the full 30s and time the
+			// test out; MaxRetryAfter bounds the worker's estimate.
+			w.Header().Set("Retry-After", "30")
+			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"id":"x","state":"done"}`)
+	})
+	c := testClient(t, h, nil)
+	start := time.Now()
+	if _, err := c.Status(context.Background(), "x"); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry waited %v; Retry-After was not capped by MaxRetryAfter", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestClientPermanent4xxDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such run"}`, http.StatusNotFound)
+	})
+	c := testClient(t, h, nil)
+	_, err := c.Status(context.Background(), "x")
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want HTTPError 404", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (4xx must not retry)", calls.Load())
+	}
+}
+
+func TestClientCancelTreats404AsSuccess(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no such run"}`, http.StatusNotFound)
+	})
+	c := testClient(t, h, nil)
+	if err := c.Cancel(context.Background(), "gone"); err != nil {
+		t.Fatalf("Cancel of a forgotten run: %v, want nil", err)
+	}
+}
+
+// TestClientTailResumesWithLastEventID pins the reconnect contract at
+// the wire level: a stream that dies mid-flight is resumed with the
+// Last-Event-ID header and the client sees every event exactly once.
+func TestClientTailResumesWithLastEventID(t *testing.T) {
+	var conns atomic.Int64
+	var gotResume atomic.Value // string: the resume header of conn 2
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		if n == 1 {
+			// Two frames, then the connection dies without a status.
+			fmt.Fprint(w, "id: 0\nevent: event\ndata: {\"seq\":0,\"kind\":\"run-start\"}\n\n")
+			fmt.Fprint(w, "id: 1\nevent: event\ndata: {\"seq\":1,\"kind\":\"tick\"}\n\n")
+			fl.Flush()
+			return // server closes: truncated stream
+		}
+		gotResume.Store(r.Header.Get("Last-Event-ID"))
+		fmt.Fprint(w, "id: 2\nevent: event\ndata: {\"seq\":2,\"kind\":\"tick\"}\n\n")
+		fmt.Fprint(w, "id: 3\nevent: event\ndata: {\"seq\":3,\"kind\":\"run-done\"}\n\n")
+		fmt.Fprint(w, "event: status\ndata: {\"id\":\"x\",\"state\":\"done\"}\n\n")
+		fl.Flush()
+	})
+	var mu sync.Mutex
+	var seqs []int
+	c := testClient(t, h, nil)
+	st, err := c.Tail(context.Background(), "x", func(e serve.EventDoc) {
+		mu.Lock()
+		seqs = append(seqs, e.Seq)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Tail: %v", err)
+	}
+	if st.State != "done" {
+		t.Errorf("terminal state = %q, want done", st.State)
+	}
+	if want := []int{0, 1, 2, 3}; len(seqs) != 4 || seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 || seqs[3] != 3 {
+		t.Errorf("seqs = %v, want %v (each event exactly once, in order)", seqs, want)
+	}
+	if got := gotResume.Load(); got != "1" {
+		t.Errorf("reconnect Last-Event-ID = %v, want \"1\"", got)
+	}
+}
+
+// TestClientTailPollsAfterResetBudget pins the degradation: a stream
+// that never yields a status frame falls back to polling the run's
+// status endpoint until it is terminal.
+func TestClientTailPollsAfterResetBudget(t *testing.T) {
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /runs/x/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK) // and nothing else: instant EOF
+	})
+	mux.HandleFunc("GET /runs/x", func(w http.ResponseWriter, r *http.Request) {
+		if polls.Add(1) < 3 {
+			fmt.Fprint(w, `{"id":"x","state":"running"}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"x","state":"done"}`)
+	})
+	c := testClient(t, mux, nil)
+	st, err := c.Tail(context.Background(), "x", func(serve.EventDoc) {})
+	if err != nil {
+		t.Fatalf("Tail: %v", err)
+	}
+	if st.State != "done" || polls.Load() < 3 {
+		t.Errorf("state=%q polls=%d, want done after >= 3 polls", st.State, polls.Load())
+	}
+}

@@ -1,0 +1,414 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ghrpsim/internal/faultinject"
+	"ghrpsim/internal/obs"
+	"ghrpsim/internal/serve"
+)
+
+// newWorkerServer starts one in-process ghrpd (a serve.Server behind a
+// real httptest listener) — the deterministic stand-in for a worker
+// daemon in the fault tests. Spawned-subprocess workers are covered by
+// spawn_test.go.
+func newWorkerServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Config{Slots: 2, QueueDepth: 8, Defaults: serve.Defaults{JobParallelism: 2}})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		ts.Close()
+	})
+	return ts
+}
+
+// deadWorkerURL returns a URL nothing listens on: every request is a
+// refused connection.
+func deadWorkerURL(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+	return url
+}
+
+// fastRetry keeps test backoffs in the millisecond range.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{
+		Backoff:        2 * time.Millisecond,
+		MaxBackoff:     20 * time.Millisecond,
+		MaxRetryAfter:  20 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+		PollEvery:      10 * time.Millisecond,
+	}
+}
+
+// testOpts is the shared tiny suite: four workloads, two policies,
+// ~1000 instructions each, ticking often enough that tails see frames.
+func testOpts(workers ...WorkerSpec) Options {
+	return Options{
+		SuiteN:        4,
+		Policies:      []string{"LRU", "GHRP"},
+		Scale:         0.001,
+		ProgressEvery: 8, // tiny runs still produce a few ticks to forward
+		Parallelism:   2,
+		Workers:       workers,
+		ShardSize:     1,
+		HedgeAfter:    -1, // individual tests opt in
+		ProbeEvery:    15 * time.Millisecond,
+		Retry:         fastRetry(),
+	}
+}
+
+// recorder is a concurrency-safe observer.
+type recorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *recorder) observe(e obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+func (r *recorder) count(k obs.EventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// runAndVerify runs the coordinator and asserts the merged result is
+// bit-identical to the single-process reference — the package's core
+// guarantee, asserted after every injected failure mode.
+func runAndVerify(t *testing.T, c *Coordinator) *Merged {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	m, err := c.Run(ctx)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, err := m.IdentityJSON()
+	if err != nil {
+		t.Fatalf("IdentityJSON: %v", err)
+	}
+	ref, err := c.Reference(ctx)
+	if err != nil {
+		t.Fatalf("Reference: %v", err)
+	}
+	want, err := ref.IdentityJSON()
+	if err != nil {
+		t.Fatalf("reference IdentityJSON: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged result differs from single-process reference:\n--- merged ---\n%s\n--- reference ---\n%s", got, want)
+	}
+	return m
+}
+
+func TestCoordinatorCleanRunBitIdentity(t *testing.T) {
+	w0, w1 := newWorkerServer(t), newWorkerServer(t)
+	rec := &recorder{}
+	opts := testOpts(WorkerSpec{URL: w0.URL}, WorkerSpec{URL: w1.URL})
+	opts.Observer = rec.observe
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 4 {
+		t.Fatalf("got %d shards, want 4 (ShardSize 1 over suite_n 4)", c.Shards())
+	}
+	m := runAndVerify(t, c)
+
+	if m.Stats.Dispatches < 4 {
+		t.Errorf("Dispatches = %d, want >= 4", m.Stats.Dispatches)
+	}
+	if m.Stats.Quarantines != 0 || m.Stats.LocalShards != 0 {
+		t.Errorf("clean run saw quarantines=%d localShards=%d, want 0/0", m.Stats.Quarantines, m.Stats.LocalShards)
+	}
+	if got := rec.count(obs.ShardDone); got != 4 {
+		t.Errorf("ShardDone events = %d, want 4", got)
+	}
+	if got := rec.count(obs.WorkloadDone); got != 4 {
+		t.Errorf("WorkloadDone events = %d, want 4 (exactly once per workload)", got)
+	}
+	if rec.count(obs.RunStart) != 1 || rec.count(obs.RunDone) != 1 {
+		t.Error("run lifecycle not emitted exactly once")
+	}
+	if rec.count(obs.Tick) == 0 {
+		t.Error("no forwarded Tick events; progress tailing is not flowing")
+	}
+}
+
+func TestCoordinatorDroppedConnAndCorruptBody(t *testing.T) {
+	w0, w1 := newWorkerServer(t), newWorkerServer(t)
+	faults := faultinject.New(
+		// Two dropped connections and one corrupted response body,
+		// spread across the run's unary calls.
+		faultinject.Rule{Op: faultinject.OpDistConn, Nth: 1, Count: 2, Action: faultinject.Transient},
+		faultinject.Rule{Op: faultinject.OpDistBody, Nth: 3, Action: faultinject.Corrupt},
+	)
+	opts := testOpts(WorkerSpec{URL: w0.URL}, WorkerSpec{URL: w1.URL})
+	opts.Faults = faults
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAndVerify(t, c)
+
+	if m.Stats.Retries < 3 {
+		t.Errorf("Retries = %d, want >= 3 (two dropped connections + one corrupt body)", m.Stats.Retries)
+	}
+	if got := faults.Fired(faultinject.OpDistBody); got != 1 {
+		t.Errorf("corrupt-body rule fired %d times, want 1", got)
+	}
+}
+
+func TestCoordinatorTruncatedSSEReconnect(t *testing.T) {
+	w0 := newWorkerServer(t)
+	faults := faultinject.New(
+		// Truncate the second event frame of some tail; the client must
+		// reconnect with Last-Event-ID and resume without gaps.
+		faultinject.Rule{Op: faultinject.OpDistSSE, Nth: 2, Action: faultinject.Corrupt},
+	)
+	opts := testOpts(WorkerSpec{URL: w0.URL})
+	opts.Faults = faults
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAndVerify(t, c)
+
+	if m.Stats.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1 (the stream reconnect)", m.Stats.Retries)
+	}
+	if got := faults.Fired(faultinject.OpDistSSE); got != 1 {
+		t.Errorf("SSE truncation fired %d times, want 1", got)
+	}
+}
+
+func TestCoordinatorSSEPollingFallback(t *testing.T) {
+	w0 := newWorkerServer(t)
+	faults := faultinject.New(
+		// Every event frame truncates: reconnects burn out and the tail
+		// must degrade to status polling — and still finish the run.
+		faultinject.Rule{Op: faultinject.OpDistSSE, Nth: 1, Count: 1 << 30, Action: faultinject.Corrupt},
+	)
+	opts := testOpts(WorkerSpec{URL: w0.URL})
+	opts.Faults = faults
+	opts.Retry.StreamResets = 2
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAndVerify(t, c)
+	if m.Stats.Retries < 2 {
+		t.Errorf("Retries = %d, want >= 2 (exhausted stream resets)", m.Stats.Retries)
+	}
+}
+
+func TestCoordinatorDeadWorkerQuarantineAndRedispatch(t *testing.T) {
+	live := newWorkerServer(t)
+	rec := &recorder{}
+	opts := testOpts(
+		WorkerSpec{Name: "live", URL: live.URL},
+		WorkerSpec{Name: "dead", URL: deadWorkerURL(t)},
+	)
+	opts.Observer = rec.observe
+	opts.QuarantineAfter = 2
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAndVerify(t, c)
+
+	if m.Stats.Quarantines < 1 {
+		t.Errorf("Quarantines = %d, want >= 1 (dead worker)", m.Stats.Quarantines)
+	}
+	if m.Stats.ShardFailures < 1 {
+		t.Errorf("ShardFailures = %d, want >= 1 (dispatches to the dead worker)", m.Stats.ShardFailures)
+	}
+	for _, w := range c.Workers() {
+		if w.Name == "dead" && w.State() != "quarantined" {
+			t.Errorf("dead worker state = %q, want quarantined", w.State())
+		}
+	}
+}
+
+func TestCoordinatorAllWorkersDeadLocalFallback(t *testing.T) {
+	rec := &recorder{}
+	opts := testOpts(
+		WorkerSpec{URL: deadWorkerURL(t)},
+		WorkerSpec{URL: deadWorkerURL(t)},
+	)
+	opts.Observer = rec.observe
+	opts.QuarantineAfter = 1
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAndVerify(t, c)
+
+	if m.Stats.LocalShards != c.Shards() {
+		t.Errorf("LocalShards = %d, want %d (every shard through the in-process fallback)", m.Stats.LocalShards, c.Shards())
+	}
+	if m.Stats.Quarantines < 2 {
+		t.Errorf("Quarantines = %d, want >= 2 (both workers)", m.Stats.Quarantines)
+	}
+	if got := rec.count(obs.ShardLocal); got != c.Shards() {
+		t.Errorf("ShardLocal events = %d, want %d", got, c.Shards())
+	}
+	if got := rec.count(obs.WorkloadDone); got != 4 {
+		t.Errorf("WorkloadDone events = %d, want 4", got)
+	}
+}
+
+func TestCoordinatorEmptyRosterRunsLocally(t *testing.T) {
+	opts := testOpts() // no workers at all: the deepest degradation rung
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAndVerify(t, c)
+	if m.Stats.LocalShards != c.Shards() {
+		t.Errorf("LocalShards = %d, want %d", m.Stats.LocalShards, c.Shards())
+	}
+}
+
+func TestCoordinatorHedgeWinsOverStalledDispatch(t *testing.T) {
+	w0, w1 := newWorkerServer(t), newWorkerServer(t)
+	faults := faultinject.New(
+		// One dispatch hangs after its submission is accepted; the
+		// hedge (first completion wins) must finish the shard and
+		// cancel the stalled loser's run via DELETE.
+		faultinject.Rule{Op: faultinject.OpDistSlow, Nth: 1, Action: faultinject.Stall},
+	)
+	rec := &recorder{}
+	opts := testOpts(WorkerSpec{URL: w0.URL}, WorkerSpec{URL: w1.URL})
+	opts.Faults = faults
+	opts.Observer = rec.observe
+	opts.ShardSize = 2 // two shards: one stalls, the idle worker hedges it
+	opts.HedgeAfter = 50 * time.Millisecond
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAndVerify(t, c)
+
+	if m.Stats.Hedges < 1 {
+		t.Errorf("Hedges = %d, want >= 1 (the stalled shard)", m.Stats.Hedges)
+	}
+	if m.Stats.Quarantines != 0 {
+		t.Errorf("Quarantines = %d, want 0 (losing a hedge is not a worker failure)", m.Stats.Quarantines)
+	}
+	if got := rec.count(obs.ShardHedge); got < 1 {
+		t.Errorf("ShardHedge events = %d, want >= 1", got)
+	}
+	if got := rec.count(obs.WorkloadDone); got != 4 {
+		t.Errorf("WorkloadDone events = %d, want 4 (hedging must not double-report)", got)
+	}
+}
+
+// flakyWorker proxies to a real worker but answers garbage 502s while
+// down — dead enough to quarantine, recoverable enough to reinstate.
+type flakyWorker struct {
+	down    atomic.Bool
+	backend http.Handler
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.down.Load() {
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte("\x00not json\x00"))
+		return
+	}
+	f.backend.ServeHTTP(w, r)
+}
+
+func TestCoordinatorQuarantineThenReinstate(t *testing.T) {
+	backend := serve.New(serve.Config{Slots: 2, QueueDepth: 8, Defaults: serve.Defaults{JobParallelism: 2}})
+	flaky := &flakyWorker{backend: backend}
+	flaky.down.Store(true)
+	ts := httptest.NewServer(flaky)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		backend.Drain(ctx)
+		ts.Close()
+	})
+
+	rec := &recorder{}
+	opts := testOpts(WorkerSpec{Name: "flaky", URL: ts.URL})
+	opts.Observer = rec.observe
+	opts.QuarantineAfter = 2
+	opts.ShardAttempts = 100 // never exhaust: the run must wait out the outage
+	opts.DisableLocal = true // force recovery through reinstatement
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bring the worker back once it has been quarantined.
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.Stats().Quarantines >= 1 {
+				flaky.down.Store(false)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	m := runAndVerify(t, c)
+	if m.Stats.Quarantines < 1 {
+		t.Errorf("Quarantines = %d, want >= 1", m.Stats.Quarantines)
+	}
+	if m.Stats.Reinstates < 1 {
+		t.Errorf("Reinstates = %d, want >= 1 (probation after the probe recovered)", m.Stats.Reinstates)
+	}
+	if m.Stats.LocalShards != 0 {
+		t.Errorf("LocalShards = %d, want 0 (local fallback was disabled)", m.Stats.LocalShards)
+	}
+	if st := c.Workers()[0].State(); st != "healthy" {
+		t.Errorf("worker state after completed shards = %q, want healthy", st)
+	}
+	if rec.count(obs.WorkerReinstate) < 1 {
+		t.Error("no WorkerReinstate event observed")
+	}
+}
+
+func TestCoordinatorRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{Workloads: []string{"x"}, SuiteN: 2}); err == nil {
+		t.Error("workloads+suite_n accepted, want error")
+	}
+	if _, err := New(Options{SuiteN: -1}); err == nil {
+		t.Error("negative suite_n accepted, want error")
+	}
+	if _, err := New(Options{SuiteN: 2, Scale: -1}); err == nil {
+		t.Error("negative scale accepted, want error")
+	}
+	if _, err := New(Options{SuiteN: 2, DisableLocal: true}); err == nil {
+		t.Error("DisableLocal with an empty roster accepted, want error")
+	}
+	if _, err := New(Options{SuiteN: 2, Policies: []string{"NOPE"}}); err == nil {
+		t.Error("unknown policy accepted, want error")
+	}
+}

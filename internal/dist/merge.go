@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ghrpsim/internal/serve"
+)
+
+// Stats counts the transport and roster machinery a run exercised.
+// None of it is part of the result identity: two runs with wildly
+// different failure histories still merge to identical documents.
+type Stats struct {
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	// Dispatches counts shard dispatches to workers (hedges included);
+	// ShardFailures the dispatch attempts that failed; Hedges the
+	// speculative re-dispatches; LocalShards the shards the in-process
+	// fallback lane ran.
+	Dispatches    int `json:"dispatches"`
+	ShardFailures int `json:"shard_failures,omitempty"`
+	Hedges        int `json:"hedges,omitempty"`
+	LocalShards   int `json:"local_shards,omitempty"`
+	// Retries counts transient HTTP attempt failures retried by the
+	// worker clients (stream reconnects included).
+	Retries int `json:"retries,omitempty"`
+	// Quarantines and Reinstates count worker roster transitions.
+	Quarantines int `json:"quarantines,omitempty"`
+	Reinstates  int `json:"reinstates,omitempty"`
+	// WallMS is the coordinator's wall time for the whole run.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Merged is a distributed run's combined result: the per-policy MPKI
+// vectors over the suite-global workload order — the exact vectors a
+// single-process run produces — plus the coordinator's stats.
+type Merged struct {
+	Workloads  []string             `json:"workloads"`
+	Policies   []string             `json:"policies"`
+	ICacheMPKI map[string][]float64 `json:"icache_mpki"`
+	BTBMPKI    map[string][]float64 `json:"btb_mpki"`
+	BranchMPKI []float64            `json:"branch_mpki"`
+	// Failed lists keep-going annotations in workload order.
+	Failed []serve.RunErrorDoc `json:"failed,omitempty"`
+	// Stats is excluded from IdentityJSON: timings and failure
+	// histories differ run to run, results must not.
+	Stats Stats `json:"stats"`
+}
+
+// mergedIdentity is Merged minus everything allowed to vary between a
+// distributed and a single-process execution of the same suite.
+type mergedIdentity struct {
+	Workloads  []string             `json:"workloads"`
+	Policies   []string             `json:"policies"`
+	ICacheMPKI map[string][]float64 `json:"icache_mpki"`
+	BTBMPKI    map[string][]float64 `json:"btb_mpki"`
+	BranchMPKI []float64            `json:"branch_mpki"`
+	Failed     []serve.RunErrorDoc `json:"failed,omitempty"`
+}
+
+// IdentityJSON renders the deterministic portion of the merged result.
+// Two runs of the same suite — any sharding, any roster, any failure
+// history, distributed or not — must produce identical bytes; the
+// fault tests assert exactly that.
+func (m *Merged) IdentityJSON() ([]byte, error) {
+	return json.MarshalIndent(mergedIdentity{
+		Workloads:  m.Workloads,
+		Policies:   m.Policies,
+		ICacheMPKI: m.ICacheMPKI,
+		BTBMPKI:    m.BTBMPKI,
+		BranchMPKI: m.BranchMPKI,
+		Failed:     m.Failed,
+	}, "", "\t")
+}
+
+// mergeDocs folds shard result documents into the suite-global merged
+// result. Docs may cover any partition of the suite (the single
+// full-suite document of Reference included); every workload must be
+// covered exactly once and every document must carry exactly the
+// coordinator's policy set, in order.
+func (c *Coordinator) mergeDocs(docs []*serve.ResultDoc) (*Merged, error) {
+	index := make(map[string]int, len(c.names))
+	for i, name := range c.names {
+		index[name] = i
+	}
+	m := &Merged{
+		Workloads:  c.names,
+		Policies:   c.policies,
+		ICacheMPKI: make(map[string][]float64, len(c.policies)),
+		BTBMPKI:    make(map[string][]float64, len(c.policies)),
+		BranchMPKI: make([]float64, len(c.names)),
+	}
+	for _, p := range c.policies {
+		m.ICacheMPKI[p] = make([]float64, len(c.names))
+		m.BTBMPKI[p] = make([]float64, len(c.names))
+	}
+	covered := make([]bool, len(c.names))
+
+	for d, doc := range docs {
+		if doc == nil {
+			return nil, fmt.Errorf("dist: merge: shard document %d is missing", d)
+		}
+		if len(doc.Policies) != len(c.policies) {
+			return nil, fmt.Errorf("dist: merge: document %d has %d policies, want %d", d, len(doc.Policies), len(c.policies))
+		}
+		for i, p := range doc.Policies {
+			if p != c.policies[i] {
+				return nil, fmt.Errorf("dist: merge: document %d policy %d is %q, want %q", d, i, p, c.policies[i])
+			}
+		}
+		if len(doc.BranchMPKI) != len(doc.Workloads) {
+			return nil, fmt.Errorf("dist: merge: document %d has %d branch values over %d workloads", d, len(doc.BranchMPKI), len(doc.Workloads))
+		}
+		for j, name := range doc.Workloads {
+			gi, ok := index[name]
+			if !ok {
+				return nil, fmt.Errorf("dist: merge: document %d covers unknown workload %q", d, name)
+			}
+			if covered[gi] {
+				return nil, fmt.Errorf("dist: merge: workload %q covered twice", name)
+			}
+			covered[gi] = true
+			m.BranchMPKI[gi] = doc.BranchMPKI[j]
+			for _, p := range c.policies {
+				iv, bv := doc.ICacheMPKI[p], doc.BTBMPKI[p]
+				if j >= len(iv) || j >= len(bv) {
+					return nil, fmt.Errorf("dist: merge: document %d policy %q vectors are short", d, p)
+				}
+				m.ICacheMPKI[p][gi] = iv[j]
+				m.BTBMPKI[p][gi] = bv[j]
+			}
+		}
+		m.Failed = append(m.Failed, doc.Failed...)
+	}
+	for gi, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("dist: merge: workload %q is uncovered", c.names[gi])
+		}
+	}
+	// Shard documents arrive in shard order, but hedging and the local
+	// lane make no ordering promises — normalize Failed to the global
+	// workload order a single-process run reports.
+	sort.SliceStable(m.Failed, func(i, j int) bool {
+		return index[m.Failed[i].Workload] < index[m.Failed[j].Workload]
+	})
+	return m, nil
+}

@@ -1,0 +1,212 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// workerState is a roster entry's health.
+type workerState int32
+
+const (
+	// workerHealthy workers take shards normally.
+	workerHealthy workerState = iota
+	// workerProbation workers take shards, but a single failure sends
+	// them straight back to quarantine — the reinstatement trial.
+	workerProbation
+	// workerQuarantined workers take no shards until a health probe
+	// succeeds.
+	workerQuarantined
+)
+
+func (s workerState) String() string {
+	switch s {
+	case workerHealthy:
+		return "healthy"
+	case workerProbation:
+		return "probation"
+	case workerQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("workerState(%d)", int32(s))
+	}
+}
+
+// Worker is one roster entry: a client for a ghrpd daemon — spawned
+// subprocess or remote URL, the coordinator treats both identically —
+// plus its failure accounting. The state machine is deliberately small:
+// consecutive failures (dispatches or probes, whichever) quarantine;
+// a successful probe reinstates on probation; a completed shard makes
+// probation healthy; a failure on probation re-quarantines immediately.
+type Worker struct {
+	// Name labels the worker in events and stats.
+	Name string
+	// Client talks to the worker's HTTP API.
+	Client *Client
+	// Proc is the spawned subprocess backing this worker, nil for
+	// remote workers. The coordinator never manages its lifecycle; the
+	// spawner (cmd/ghrpdist, tests) owns Stop/Kill.
+	Proc *Proc
+
+	mu    sync.Mutex
+	state workerState
+	fails int
+}
+
+// State returns the worker's current roster state.
+func (w *Worker) State() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state.String()
+}
+
+// usable reports whether the worker may take shards.
+func (w *Worker) usable() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state != workerQuarantined
+}
+
+// ok records a successful shard: failure count resets and probation
+// graduates to healthy.
+func (w *Worker) ok() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails = 0
+	w.state = workerHealthy
+}
+
+// fail records one failure (dispatch or probe). It reports whether this
+// failure quarantined the worker, plus the consecutive-failure count. A
+// worker on probation is re-quarantined by any failure; a healthy one
+// after threshold consecutive failures.
+func (w *Worker) fail(threshold int) (quarantined bool, fails int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails++
+	if w.state == workerQuarantined {
+		return false, w.fails
+	}
+	if w.state == workerProbation || w.fails >= threshold {
+		w.state = workerQuarantined
+		return true, w.fails
+	}
+	return false, w.fails
+}
+
+// reinstate moves a quarantined worker to probation after a successful
+// health probe; it reports whether a transition happened.
+func (w *Worker) reinstate() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.state != workerQuarantined {
+		return false
+	}
+	w.state = workerProbation
+	w.fails = 0
+	return true
+}
+
+// Proc is a spawned ghrpd subprocess: the local flavor of worker. The
+// daemon is started with an ephemeral port and -announce, and the
+// spawner reads the announced base URL from the first stdout line.
+type Proc struct {
+	cmd   *exec.Cmd
+	url   string
+	waitC chan error
+}
+
+// Spawn starts `command extraArgs... -addr 127.0.0.1:0 -announce` and
+// waits (bounded) for the announced URL. stderr receives the daemon's
+// log output (nil = discarded).
+func Spawn(command string, extraArgs []string, stderr io.Writer) (*Proc, error) {
+	args := append(append([]string{}, extraArgs...), "-addr", "127.0.0.1:0", "-announce")
+	cmd := exec.Command(command, args...)
+	if stderr != nil {
+		cmd.Stderr = stderr
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &Proc{cmd: cmd, waitC: make(chan error, 1)}
+
+	lineC := make(chan string, 1)
+	errC := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			err := sc.Err()
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			errC <- fmt.Errorf("dist: worker announced nothing: %w", err)
+			return
+		}
+		lineC <- strings.TrimSpace(sc.Text())
+		// Drain the rest so the child never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	select {
+	case line := <-lineC:
+		if !strings.HasPrefix(line, "http://") {
+			p.killStarted()
+			return nil, fmt.Errorf("dist: worker announced %q, want a base URL", line)
+		}
+		p.url = line
+	case err := <-errC:
+		p.killStarted()
+		return nil, err
+	case <-ctx.Done():
+		p.killStarted()
+		return nil, fmt.Errorf("dist: worker did not announce a URL in time")
+	}
+	go func() { p.waitC <- cmd.Wait() }()
+	return p, nil
+}
+
+// killStarted reaps a child that failed its announcement handshake.
+func (p *Proc) killStarted() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// URL returns the announced base URL.
+func (p *Proc) URL() string { return p.url }
+
+// Kill terminates the worker process immediately (the crash-injection
+// path of the fault tests) and reaps it.
+func (p *Proc) Kill() error {
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-p.waitC // Wait's error after a kill is expected; the reap is the point
+	return nil
+}
+
+// Stop asks the worker to drain (SIGTERM) and waits for it to exit
+// while ctx lasts, escalating to Kill after that.
+func (p *Proc) Stop(ctx context.Context) error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return p.Kill()
+	}
+	select {
+	case err := <-p.waitC:
+		return err
+	case <-ctx.Done():
+		return p.Kill()
+	}
+}

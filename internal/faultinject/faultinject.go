@@ -41,6 +41,28 @@ const (
 	// proving the daemon turns even executor-level faults into a failed
 	// job status instead of dying.
 	OpServeJob Op = "serve-job"
+
+	// The dist ops fire in the coordinator's transport layer
+	// (internal/dist), so every cross-process recovery path — retry,
+	// reconnect, quarantine, hedging, local fallback — has a
+	// deterministic test that needs no real network failure.
+
+	// OpDistConn fires before one coordinator HTTP request; a Transient
+	// rule simulates a dropped connection (the request never happens).
+	OpDistConn Op = "dist-conn"
+	// OpDistBody fires after one coordinator HTTP response body is read;
+	// a firing rule asks the client to corrupt the bytes before
+	// decoding, simulating a truncated or garbled response.
+	OpDistBody Op = "dist-body"
+	// OpDistSSE fires per event frame while the coordinator tails a
+	// worker's SSE stream; a firing rule truncates the stream
+	// mid-flight, exercising Last-Event-ID reconnect.
+	OpDistSSE Op = "dist-sse"
+	// OpDistSlow fires once one shard dispatch's submission has been
+	// accepted; a Stall rule hangs the dispatch until its context is
+	// cancelled, simulating a worker that accepted work and went
+	// unresponsive — the straggler the hedging machinery exists for.
+	OpDistSlow Op = "dist-slow"
 )
 
 // Action is what a firing rule does to the caller.

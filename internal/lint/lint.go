@@ -209,6 +209,12 @@ var deterministicPackages = map[string]bool{
 	// two legitimate wall-clock uses (run timestamps, SSE keep-alive
 	// pacing) carry written ignores.
 	"serve": true,
+	// dist's merged documents must be bit-identical to a single-process
+	// run whatever failed along the way, so its result path is held to
+	// the same standard; the transport layer's legitimate wall-clock uses
+	// (backoff sleeps, probe/hedge pacing, liveness stamps) are funneled
+	// through three helpers in dist.go that carry written ignores.
+	"dist": true,
 }
 
 // deterministic reports whether the package is part of the

@@ -95,10 +95,25 @@ func (h *Hub) Snapshot() []Event {
 // the subscription when done so the hub's subscriber count stays
 // accurate.
 func (h *Hub) Subscribe() *Subscription {
+	return h.SubscribeAt(0)
+}
+
+// SubscribeAt attaches a subscriber whose cursor starts at log position
+// pos — the resume point of a consumer that already replayed the prefix
+// (an SSE reconnect carrying Last-Event-ID). pos is clamped to the
+// current log bounds, so a stale or overshooting resume point degrades
+// to a valid cursor instead of skipping unseen events.
+func (h *Hub) SubscribeAt(pos int) *Subscription {
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.subs++
-	h.mu.Unlock()
-	return &Subscription{hub: h}
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(h.events) {
+		pos = len(h.events)
+	}
+	return &Subscription{hub: h, cursor: pos}
 }
 
 // Subscription is one subscriber's cursor into a Hub's event log. It is
@@ -138,6 +153,15 @@ func (s *Subscription) Wait() <-chan struct{} {
 		return closedChan
 	}
 	return h.wake
+}
+
+// Cursor returns the subscription's current log position: the index of
+// the next event Next would deliver. Consumers that label events by log
+// position (SSE ids) read it instead of keeping a parallel counter.
+func (s *Subscription) Cursor() int {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.cursor
 }
 
 // Cancel detaches the subscription. It is idempotent; a cancelled

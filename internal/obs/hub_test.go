@@ -93,6 +93,82 @@ func TestHubSubscriberCount(t *testing.T) {
 	}
 }
 
+func TestHubSubscribeAt(t *testing.T) {
+	h := NewHub()
+	for i := 0; i < 5; i++ {
+		h.Observe(Event{Kind: Tick, WorkloadIndex: i})
+	}
+	// A resuming subscriber skips the already-replayed prefix.
+	sub := h.SubscribeAt(3)
+	defer sub.Cancel()
+	e, ok, _ := sub.Next()
+	if !ok || e.WorkloadIndex != 3 {
+		t.Fatalf("first resumed event index = %d ok=%v, want 3", e.WorkloadIndex, ok)
+	}
+	// Out-of-range resume points clamp instead of skipping the unseen.
+	past := h.SubscribeAt(99)
+	defer past.Cancel()
+	if _, ok, more := past.Next(); ok || !more {
+		t.Fatalf("overshooting cursor: ok=%v more=%v, want false true", ok, more)
+	}
+	h.Observe(Event{Kind: Tick, WorkloadIndex: 5})
+	if e, ok, _ := past.Next(); !ok || e.WorkloadIndex != 5 {
+		t.Fatalf("clamped cursor missed the next live event: %v ok=%v", e.WorkloadIndex, ok)
+	}
+	neg := h.SubscribeAt(-7)
+	defer neg.Cancel()
+	if e, ok, _ := neg.Next(); !ok || e.WorkloadIndex != 0 {
+		t.Fatalf("negative cursor: index %d ok=%v, want 0", e.WorkloadIndex, ok)
+	}
+}
+
+// TestHubCancelBetweenWaitAndNext pins the coordinator's reconnect-heavy
+// usage: a subscriber that obtained a Wait channel, then cancels instead
+// of calling Next, while the emitter concurrently appends and closes the
+// log. Neither side may block or leak — the emitter never waits on
+// consumers, and a cancelled subscription's cursor stays usable.
+func TestHubCancelBetweenWaitAndNext(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		h := NewHub()
+		sub := h.Subscribe()
+		ch := sub.Wait()
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			h.Observe(Event{Kind: RunStart})
+			h.Observe(Event{Kind: RunDone})
+			h.Close()
+		}()
+
+		// Cancel between Wait and Next, racing the emitter's close.
+		sub.Cancel()
+		<-done
+		// The wake channel the subscriber held must have been released
+		// by the append (or the close) — reading it cannot block.
+		<-ch
+		if n := h.Subscribers(); n != 0 {
+			t.Fatalf("Subscribers = %d after cancel, want 0", n)
+		}
+		// A cancelled subscription still drains the immutable log.
+		seen := 0
+		for {
+			_, ok, more := sub.Next()
+			if ok {
+				seen++
+				continue
+			}
+			if more {
+				t.Fatal("closed hub still reports more events pending")
+			}
+			break
+		}
+		if seen != 2 {
+			t.Fatalf("cancelled subscription drained %d events, want 2", seen)
+		}
+	}
+}
+
 // TestHubConcurrent drives one emitter against several tailing
 // subscribers under -race: every subscriber must see the full sequence
 // in order, and the emitter must never block on a slow consumer.

@@ -42,6 +42,39 @@ const (
 	// retry number (1 for the first retry) and Err the transient error.
 	// Cells the first attempt completed are not re-simulated.
 	TaskRetry
+
+	// The shard/worker kinds below are emitted by the distributed
+	// coordinator (internal/dist), which shards a suite across ghrpd
+	// workers; Shard/Shards and Worker carry the coordinator-side
+	// labels. Workload-level kinds above are re-emitted by the
+	// coordinator with suite-global indices, so the progress printer
+	// and collector work unchanged across one process or many.
+
+	// ShardDispatch is emitted when a shard is handed to a worker;
+	// Attempt counts dispatches of that shard (1 = first).
+	ShardDispatch
+	// ShardDone is emitted when a shard's results are merged (first
+	// completion wins under hedging).
+	ShardDone
+	// ShardFailed is emitted when one dispatch attempt of a shard fails
+	// (the shard will be retried, re-dispatched, or run locally).
+	ShardFailed
+	// ShardHedge is emitted when a straggling shard is speculatively
+	// re-dispatched to an idle worker.
+	ShardHedge
+	// ShardLocal is emitted when the coordinator runs a shard in-process
+	// (the degradation path when no worker is usable).
+	ShardLocal
+	// WorkerQuarantine is emitted when consecutive failures quarantine a
+	// worker; Attempt carries the failure count.
+	WorkerQuarantine
+	// WorkerReinstate is emitted when a quarantined worker passes a
+	// health probe and re-enters the roster on probation.
+	WorkerReinstate
+	// DistRetry is emitted when a coordinator HTTP attempt against a
+	// worker failed transiently and is about to be retried; Attempt is
+	// the retry number and Err the transport error.
+	DistRetry
 )
 
 // String names the event kind.
@@ -65,6 +98,22 @@ func (k EventKind) String() string {
 		return "policy-cached"
 	case TaskRetry:
 		return "task-retry"
+	case ShardDispatch:
+		return "shard-dispatch"
+	case ShardDone:
+		return "shard-done"
+	case ShardFailed:
+		return "shard-failed"
+	case ShardHedge:
+		return "shard-hedge"
+	case ShardLocal:
+		return "shard-local"
+	case WorkerQuarantine:
+		return "worker-quarantine"
+	case WorkerReinstate:
+		return "worker-reinstate"
+	case DistRetry:
+		return "dist-retry"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -95,8 +144,16 @@ type Event struct {
 	// result-cache lookup missed (false when no cache is attached).
 	CacheMiss bool
 	// Attempt is the retry number of a TaskRetry event (1 = first
-	// retry of the task).
+	// retry of the task), the dispatch or failure count of shard and
+	// worker events, or the retry number of a DistRetry.
 	Attempt int
+	// Shard and Shards identify a coordinator shard event's shard
+	// (0-based) and the run's shard count; Worker names the worker a
+	// shard or worker event concerns. Zero values on single-process
+	// runs.
+	Shard  int
+	Shards int
+	Worker string
 }
 
 // Observer consumes progress events. Observers attached to a parallel

@@ -81,8 +81,11 @@ type ConfigDoc struct {
 	NextLinePrefetch bool `json:"next_line_prefetch,omitempty"`
 }
 
-// apply overlays the overrides on cfg.
-func (d *ConfigDoc) apply(cfg frontend.Config) frontend.Config {
+// Apply overlays the overrides on cfg. Exported so the dist
+// coordinator's in-process fallback resolves the same effective config
+// a worker daemon would, keeping local and remote shard results
+// bit-identical.
+func (d *ConfigDoc) Apply(cfg frontend.Config) frontend.Config {
 	if d == nil {
 		return cfg
 	}
@@ -207,7 +210,7 @@ func normalize(req RunRequest, d Defaults) (job, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	cfg := req.Config.apply(d.Config)
+	cfg := req.Config.Apply(d.Config)
 	if err := cfg.Validate(); err != nil {
 		return j, &errBadRequest{err}
 	}

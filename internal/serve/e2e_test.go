@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -64,7 +65,7 @@ func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if v != nil && resp.StatusCode == http.StatusOK {
+	if v != nil {
 		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 			t.Fatalf("decoding %s: %v", path, err)
 		}
@@ -115,15 +116,22 @@ func waitState(t *testing.T, ts *httptest.Server, id string, want ...State) Stat
 
 // readSSE consumes one /events stream to its end, returning the event
 // frames and the terminal status frame (ok=false if the stream ended
-// without one — e.g. the client disconnected first).
+// without one — e.g. the client disconnected first). Every event frame
+// must carry an `id:` line matching its seq — the resume contract.
 func readSSE(t *testing.T, body io.Reader) (events []EventDoc, final StatusDoc, ok bool) {
 	t.Helper()
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	current := ""
+	current, id := "", -1
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			id = n
 		case strings.HasPrefix(line, "event: "):
 			current = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -134,6 +142,9 @@ func readSSE(t *testing.T, body io.Reader) (events []EventDoc, final StatusDoc, 
 				if err := json.Unmarshal([]byte(data), &e); err != nil {
 					t.Fatalf("bad event frame %q: %v", data, err)
 				}
+				if id != e.Seq {
+					t.Fatalf("event frame id %d != seq %d", id, e.Seq)
+				}
 				events = append(events, e)
 			case "status":
 				if err := json.Unmarshal([]byte(data), &final); err != nil {
@@ -141,6 +152,7 @@ func readSSE(t *testing.T, body io.Reader) (events []EventDoc, final StatusDoc, 
 				}
 				ok = true
 			}
+			id = -1
 		}
 	}
 	return events, final, ok
@@ -334,8 +346,19 @@ func TestE2EAdmissionControl(t *testing.T) {
 	if code != http.StatusCreated {
 		t.Fatalf("submit B: code %d", code)
 	}
-	if _, code := submit(t, ts, mk(2)); code != http.StatusTooManyRequests {
-		t.Fatalf("overflow submit: code %d, want 429", code)
+	// The overflow answer carries a Retry-After derived from the actual
+	// backlog: one stalled job running plus one queued = 2 seconds.
+	oresp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(mk(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, oresp.Body)
+	oresp.Body.Close()
+	if oresp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: code %d, want 429", oresp.StatusCode)
+	}
+	if ra := oresp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("overflow Retry-After = %q, want 2 (1 running + 1 queued)", ra)
 	}
 	// A rejected submission leaves no residue: the store holds A and B.
 	var list []StatusDoc
@@ -359,12 +382,20 @@ func TestE2EAdmissionControl(t *testing.T) {
 	del(t, ts, sub.Status.ID)
 }
 
-// TestE2EDrain checks graceful shutdown: intake turns 503, a stalled
-// job is cancelled at the drain deadline, and the drain returns.
+// TestE2EDrain checks graceful shutdown: /healthz flips to 503
+// "draining" (readiness off, liveness still answerable), intake turns
+// 503 with a backlog-derived Retry-After, a stalled job is cancelled at
+// the drain deadline, and the drain returns.
 func TestE2EDrain(t *testing.T) {
 	faults := faultinject.New(faultinject.Rule{Op: faultinject.OpServeJob, Action: faultinject.Stall})
 	s, ts := newTestServer(t, Config{Slots: 1, QueueDepth: 1, Faults: faults,
 		Defaults: Defaults{JobParallelism: 1}})
+
+	// Before the drain the daemon is ready: 200 "ok".
+	var health HealthDoc
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK || health.Status != "ok" || health.Draining {
+		t.Fatalf("healthz before drain: code %d, %+v", code, health)
+	}
 
 	sub, _ := submit(t, ts, `{"suite_n": 1, "policies": ["LRU"], "scale": 0.001}`)
 	waitState(t, ts, sub.Status.ID, StateRunning)
@@ -373,15 +404,93 @@ func TestE2EDrain(t *testing.T) {
 	defer cancel()
 	s.Drain(ctx)
 
-	var health HealthDoc
-	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK || !health.Draining {
+	// Draining: readiness is gone (503, status "draining") but the body
+	// is still a well-formed health document — alive, not routable.
+	health = HealthDoc{}
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusServiceUnavailable || !health.Draining || health.Status != "draining" {
 		t.Fatalf("healthz during drain: code %d, %+v", code, health)
 	}
-	if _, code := submit(t, ts, tinyRun); code != http.StatusServiceUnavailable {
-		t.Fatalf("submit during drain: code %d, want 503", code)
+	dresp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(tinyRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: code %d, want 503", dresp.StatusCode)
+	}
+	// The one stalled job is the whole backlog: Retry-After "1".
+	if ra := dresp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("draining Retry-After = %q, want 1 (one stalled job)", ra)
 	}
 	doc := waitState(t, ts, sub.Status.ID, StateCancelled)
 	if !strings.Contains(doc.Error, "draining") {
 		t.Fatalf("drained run error = %q", doc.Error)
+	}
+}
+
+// TestE2ESSEResume pins the reconnect contract: event frames carry
+// their log position as the SSE id, and a client reconnecting with
+// Last-Event-ID receives exactly the unseen suffix — no re-download of
+// the replayed prefix, no gap, terminal status frame still delivered.
+func TestE2ESSEResume(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 1, QueueDepth: 2, Defaults: Defaults{JobParallelism: 1}})
+	sub, _ := submit(t, ts, tinyRun)
+	id := sub.Status.ID
+	waitState(t, ts, id, StateDone)
+
+	resp, err := http.Get(ts.URL + "/runs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _, sawFinal := readSSE(t, resp.Body) // also asserts id == seq per frame
+	resp.Body.Close()
+	if !sawFinal || len(events) < 4 {
+		t.Fatalf("full stream: %d events, final=%v", len(events), sawFinal)
+	}
+
+	// Resume from the middle: only the suffix replays.
+	resume := events[2].Seq
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/runs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", strconv.Itoa(resume))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, final, sawFinal := readSSE(t, resp2.Body)
+	resp2.Body.Close()
+	if !sawFinal || final.State != string(StateDone) {
+		t.Fatalf("resumed stream: final=%v state=%q", sawFinal, final.State)
+	}
+	if want := len(events) - resume - 1; len(tail) != want {
+		t.Fatalf("resumed stream replayed %d events, want %d", len(tail), want)
+	}
+	if len(tail) == 0 || tail[0].Seq != resume+1 {
+		t.Fatalf("resumed stream starts at seq %d, want %d", tail[0].Seq, resume+1)
+	}
+	for i, e := range tail {
+		if e.Seq != resume+1+i {
+			t.Fatalf("resumed stream seq %d at position %d, want %d", e.Seq, i, resume+1+i)
+		}
+	}
+
+	// An overshooting resume point yields no duplicate events, just the
+	// terminal status frame.
+	req2, err := http.NewRequest(http.MethodGet, ts.URL+"/runs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Last-Event-ID", "99999")
+	resp3, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, final2, sawFinal2 := readSSE(t, resp3.Body)
+	resp3.Body.Close()
+	if len(over) != 0 || !sawFinal2 || final2.State != string(StateDone) {
+		t.Fatalf("overshoot resume: %d events, final=%v", len(over), sawFinal2)
 	}
 }

@@ -40,6 +40,7 @@ type Executor struct {
 	base     context.Context
 	baseStop context.CancelCauseFunc
 	draining atomic.Bool
+	running  atomic.Int64 // jobs currently occupying a slot
 	faults   *faultinject.Injector
 	now      func() time.Time
 }
@@ -76,6 +77,22 @@ func (x *Executor) Base() context.Context { return x.base }
 
 // Draining reports whether the executor has stopped accepting work.
 func (x *Executor) Draining() bool { return x.draining.Load() }
+
+// Backlog counts the jobs ahead of a new submission: everything queued
+// plus everything occupying a slot right now.
+func (x *Executor) Backlog() int { return len(x.queue) + int(x.running.Load()) }
+
+// RetryAfter estimates, in whole seconds, when a refused submission is
+// worth retrying: one second per job in the backlog, at least one. A
+// draining executor reports the backlog it is still finishing — a
+// backoff-honoring client should pace itself by it while rerouting to a
+// worker that is not shutting down.
+func (x *Executor) RetryAfter() int {
+	if n := x.Backlog(); n > 1 {
+		return n
+	}
+	return 1
+}
 
 // Submit enqueues a run. It never blocks: a full queue returns ErrBusy
 // and a draining executor ErrDraining, both of which the caller
@@ -135,6 +152,8 @@ func (x *Executor) worker() {
 // execute runs one job start to finish, containing panics: a fault
 // anywhere here fails the run, never the daemon.
 func (x *Executor) execute(r *Run) {
+	x.running.Add(1)
+	defer x.running.Add(-1)
 	defer func() {
 		if p := recover(); p != nil {
 			x.finish(r, nil, fmt.Errorf("serve: job panic: %v\n%s", p, debug.Stack()))
@@ -185,7 +204,7 @@ func (x *Executor) finish(r *Run, m *sim.Measurements, err error) {
 	var result []byte
 	var figures string
 	if state == StateDone && m != nil {
-		doc := resultDoc(r.id, m)
+		doc := ResultDocFor(r.id, m)
 		blob, merr := json.MarshalIndent(doc, "", "\t")
 		if merr != nil {
 			state, detail = StateFailed, fmt.Sprintf("serve: encoding result: %v", merr)
@@ -210,8 +229,11 @@ func (x *Executor) finish(r *Run, m *sim.Measurements, err error) {
 	r.hub.Close()
 }
 
-// resultDoc folds a completed run's measurements into the wire shape.
-func resultDoc(id string, m *sim.Measurements) ResultDoc {
+// ResultDocFor folds a completed run's measurements into the wire
+// shape. Exported so the dist coordinator's in-process fallback folds
+// local shard results through the exact function a worker would —
+// keeping the merged document bit-identical whichever side simulated.
+func ResultDocFor(id string, m *sim.Measurements) ResultDoc {
 	doc := ResultDoc{
 		ID:         id,
 		Workloads:  make([]string, len(m.Specs)),

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"ghrpsim/internal/faultinject"
@@ -140,6 +141,7 @@ func writeError(w http.ResponseWriter, status int, msg, state string) {
 // or cancelled identity is re-attempted fresh.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.exec.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.exec.RetryAfter()))
 		writeError(w, http.StatusServiceUnavailable, ErrDraining.Error(), "")
 		return
 	}
@@ -170,9 +172,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Admission refused: forget the stillborn run so a retry
 			// starts clean.
 			s.store.Delete(run.ID())
+			// Retry-After is derived from the executor's actual backlog
+			// and drain state, so backoff-honoring clients (the dist
+			// coordinator included) pace themselves usefully instead of
+			// hammering a saturated worker every second.
+			w.Header().Set("Retry-After", strconv.Itoa(s.exec.RetryAfter()))
 			switch {
 			case errors.Is(err, ErrBusy):
-				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests, err.Error(), "")
 			default:
 				writeError(w, http.StatusServiceUnavailable, err.Error(), "")
@@ -270,11 +276,22 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, run.status())
 }
 
-// handleHealth is GET /healthz.
+// handleHealth is GET /healthz: liveness and readiness in one probe. A
+// healthy daemon answers 200 "ok"; once a drain has begun it answers
+// 503 with status "draining" and Draining set, so load balancers and
+// the dist coordinator stop routing new work to it — while the
+// well-formed body (versus a refused connection) still distinguishes
+// "alive but shutting down" from "dead".
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthDoc{
+	doc := HealthDoc{
 		Status:   "ok",
 		Runs:     s.store.Len(),
 		Draining: s.exec.Draining(),
-	})
+	}
+	code := http.StatusOK
+	if doc.Draining {
+		doc.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, doc)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -13,6 +14,13 @@ import (
 // terminal "status" event carrying the final StatusDoc and the stream
 // closes. Disconnecting mid-stream frees the subscription without
 // touching the job — the hub never blocks the emitter on a consumer.
+//
+// Every event frame carries its log position as the SSE `id:` field. A
+// reconnecting subscriber that presents it back as Last-Event-ID (the
+// SSE-standard resume header) skips the already-replayed prefix instead
+// of re-downloading the whole log; the resume point is clamped to the
+// log bounds, so a stale id degrades to a full replay of the unseen
+// suffix, never a gap.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.run(w, r)
 	if !ok {
@@ -27,28 +35,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sub := run.Hub().Subscribe()
+	from := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			from = n + 1
+		}
+	}
+	sub := run.Hub().SubscribeAt(from)
 	defer sub.Cancel()
 	// Keep-alive comments let proxies and clients distinguish a quiet
 	// run from a dead connection.
 	beat := time.NewTicker(s.beat) //ghrplint:ignore detwallclock SSE keep-alive pacing is a transport concern; no simulation result depends on it
 	defer beat.Stop()
 
-	seq := 0
 	for {
+		seq := sub.Cursor()
 		e, ok, more := sub.Next()
 		if ok {
-			if err := writeSSE(w, "event", eventDoc(seq, e)); err != nil {
+			if err := writeSSE(w, seq, "event", eventDoc(seq, e)); err != nil {
 				return
 			}
-			seq++
 			rc.Flush()
 			continue
 		}
 		if !more {
 			// Stream complete: the hub closes only after the run's
 			// terminal state is readable, so this snapshot is final.
-			writeSSE(w, "status", run.status())
+			writeSSE(w, -1, "status", run.status())
 			rc.Flush()
 			return
 		}
@@ -63,10 +76,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeSSE writes one SSE frame: `event: <name>` and a JSON data line.
-func writeSSE(w http.ResponseWriter, event string, v any) error {
+// writeSSE writes one SSE frame: an optional `id:` line (id >= 0), the
+// `event: <name>` line and a JSON data line.
+func writeSSE(w http.ResponseWriter, id int, event string, v any) error {
 	blob, err := json.Marshal(v)
 	if err != nil {
+		return err
+	}
+	if id >= 0 {
+		_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, blob)
 		return err
 	}
 	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
