@@ -1,0 +1,194 @@
+// Distributed-coordinator benchmark (-dist): how suite throughput
+// scales with the worker count, for the fixed 662-workload table and
+// for a generated suite an order of magnitude larger. Each cell spawns
+// its workers fresh with per-worker on-disk result caches and runs the
+// suite twice: cold (every cell simulated) and warm (a second
+// coordinator over the same roster, where cache-affinity placement
+// should route shards back to the worker that already holds their
+// results). The numbers recorded in BENCH_PR9.json come from this
+// mode; workloads/s and records/s are machine-dependent and NOT
+// comparable across hosts — only the shape (scaling across workers,
+// warm/cold ratio, affinity hit rate) is.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ghrpsim/internal/dist"
+	"ghrpsim/internal/workload"
+)
+
+type distOptions struct {
+	WorkerCmd  string  // ghrpd binary to spawn
+	Workers    []int   // roster sizes to sweep (0 = in-process, no roster)
+	GenN       int     // generated-suite size
+	FixedScale float64 // instruction-budget scale for the fixed suite
+	GenScale   float64 // instruction-budget scale for the generated suite
+	SkipFixed  bool    // only the generated suite (hermetic tests)
+	Out        string
+}
+
+type distPhase struct {
+	WallSeconds     float64 `json:"wall_seconds"`
+	WorkloadsPerSec float64 `json:"workloads_per_sec"`
+	Dispatches      int     `json:"dispatches"`
+	AffinityHits    int     `json:"affinity_hits"`
+	AffinityMisses  int     `json:"affinity_misses"`
+	WorkerCacheHits int     `json:"worker_cache_hits"`
+	LocalShards     int     `json:"local_shards,omitempty"`
+	MergeParkedPeak int     `json:"merge_parked_peak"`
+}
+
+type distCell struct {
+	Suite     string    `json:"suite"`
+	Workloads int       `json:"workloads"`
+	Scale     float64   `json:"scale"`
+	Workers   int       `json:"workers"`
+	Cold      distPhase `json:"cold"`
+	Warm      distPhase `json:"warm"`
+}
+
+type distReport struct {
+	Note     string     `json:"note"`
+	Policies []string   `json:"policies"`
+	Cells    []distCell `json:"cells"`
+}
+
+// distPolicies keeps the distributed matrix affordable: two policies
+// are enough to exercise the fan-out while the suite axis carries the
+// scaling story.
+var distPolicies = []string{"LRU", "GHRP"}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func runDist(o distOptions, stdout io.Writer) error {
+	if o.GenN <= 0 {
+		return fmt.Errorf("bench: -dist-gen-n %d must be positive", o.GenN)
+	}
+	rep := distReport{
+		Note:     "workloads/s and wall times are machine-dependent; compare scaling shape and affinity/cache rates, not absolute rates across hosts",
+		Policies: distPolicies,
+	}
+	type suiteAxis struct {
+		name  string
+		opts  dist.Options
+		scale float64
+	}
+	// Explicit shard sizes keep placement granular: with the auto plan
+	// (~2 shards per worker) run retention and one steal dominate the
+	// warm pass; dozens of shards let affinity routing and the per-cell
+	// result cache carry it instead.
+	var suites []suiteAxis
+	if !o.SkipFixed {
+		suites = append(suites, suiteAxis{name: "fixed-662", opts: dist.Options{ShardSize: 32}, scale: o.FixedScale})
+	}
+	suites = append(suites, suiteAxis{
+		name: fmt.Sprintf("gen-%d", o.GenN),
+		opts: dist.Options{
+			Suite:     &workload.SuiteGen{N: o.GenN, FootprintMin: 0.2, FootprintMax: 1.0},
+			ShardSize: maxInt(o.GenN/40, 1),
+		},
+		scale: o.GenScale,
+	})
+	for _, suite := range suites {
+		for _, workers := range o.Workers {
+			cell, err := runDistCell(suite.name, suite.opts, suite.scale, workers, o.WorkerCmd)
+			if err != nil {
+				return err
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(os.Stderr, "bench: %s x %d workers: cold %.1fs (%.0f wl/s), warm %.1fs (%d/%d cache hits, %d affine)\n",
+				cell.Suite, cell.Workers, cell.Cold.WallSeconds, cell.Cold.WorkloadsPerSec,
+				cell.Warm.WallSeconds, cell.Warm.WorkerCacheHits, cell.Workloads, cell.Warm.AffinityHits)
+		}
+	}
+	blob, err := json.MarshalIndent(rep, "", "\t")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if _, err := stdout.Write(blob); err != nil {
+		return err
+	}
+	if o.Out != "" {
+		return os.WriteFile(o.Out, blob, 0o644)
+	}
+	return nil
+}
+
+// runDistCell spawns a fresh roster (each worker with its own empty
+// on-disk cache), runs the suite cold and then warm, and tears the
+// roster down. workers == 0 runs rosterless: the coordinator's
+// in-process fallback executes every shard locally, which is the
+// hermetic path tests use.
+func runDistCell(name string, base dist.Options, scale float64, workers int, workerCmd string) (distCell, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+
+	var roster []dist.WorkerSpec
+	var procs []*dist.Proc
+	defer func() {
+		for _, p := range procs {
+			sctx, scancel := context.WithTimeout(context.Background(), 15*time.Second)
+			p.Stop(sctx)
+			scancel()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		dir, err := os.MkdirTemp("", "bench-dist-cache-")
+		if err != nil {
+			return distCell{}, err
+		}
+		defer os.RemoveAll(dir)
+		// -max-runs 2 keeps the daemons from retaining whole finished
+		// runs across the cold pass: warm submissions must re-execute
+		// and hit the on-disk result cache per cell — the layer the
+		// warm phase measures — rather than dedup onto a kept run.
+		p, err := dist.Spawn(workerCmd, []string{"-cache-dir", dir, "-max-runs", "2"}, nil)
+		if err != nil {
+			return distCell{}, fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		procs = append(procs, p)
+		roster = append(roster, dist.WorkerSpec{Name: fmt.Sprintf("w%d", i), URL: p.URL(), Proc: p})
+	}
+
+	opts := base
+	opts.Policies = distPolicies
+	opts.Scale = scale
+	opts.Workers = roster
+	opts.HedgeAfter = -1 // stable dispatch counts: no straggler races in a benchmark
+
+	cell := distCell{Suite: name, Scale: scale, Workers: workers}
+	for i, phase := range []*distPhase{&cell.Cold, &cell.Warm} {
+		c, err := dist.New(opts)
+		if err != nil {
+			return distCell{}, err
+		}
+		m, err := c.Run(ctx)
+		if err != nil {
+			return distCell{}, fmt.Errorf("%s x %d workers (run %d): %w", name, workers, i, err)
+		}
+		cell.Workloads = len(m.Workloads)
+		phase.WallSeconds = m.Stats.WallMS / 1e3
+		if phase.WallSeconds > 0 {
+			phase.WorkloadsPerSec = float64(len(m.Workloads)) / phase.WallSeconds
+		}
+		phase.Dispatches = m.Stats.Dispatches
+		phase.AffinityHits = m.Stats.AffinityHits
+		phase.AffinityMisses = m.Stats.AffinityMisses
+		phase.WorkerCacheHits = m.Stats.WorkerCacheHits
+		phase.LocalShards = m.Stats.LocalShards
+		phase.MergeParkedPeak = m.Stats.MergeParkedPeak
+	}
+	return cell, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestDistBenchHermetic drives the -dist harness rosterless (workers =
+// 0): no daemon binary to spawn, every shard runs through the
+// coordinator's in-process fallback, so the report plumbing — cell
+// layout, phase stats, the JSON shape committed as BENCH_PR9.json —
+// is covered without subprocesses.
+func TestDistBenchHermetic(t *testing.T) {
+	var buf bytes.Buffer
+	o := distOptions{
+		Workers:   []int{0},
+		GenN:      4,
+		GenScale:  0.001,
+		SkipFixed: true,
+	}
+	if err := runDist(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep distReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if rep.Note == "" {
+		t.Error("report carries no comparability note")
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(rep.Cells))
+	}
+	cell := rep.Cells[0]
+	if cell.Suite != "gen-4" || cell.Workers != 0 || cell.Workloads != 4 {
+		t.Errorf("cell = %+v, want suite gen-4 over 4 workloads with 0 workers", cell)
+	}
+	for name, ph := range map[string]distPhase{"cold": cell.Cold, "warm": cell.Warm} {
+		if !(ph.WorkloadsPerSec > 0) {
+			t.Errorf("%s workloads_per_sec = %v, want positive", name, ph.WorkloadsPerSec)
+		}
+		if ph.LocalShards == 0 {
+			t.Errorf("%s ran %d local shards, want all of them (rosterless)", name, ph.LocalShards)
+		}
+		if ph.Dispatches != 0 || ph.AffinityHits != 0 || ph.AffinityMisses != 0 {
+			t.Errorf("%s reports remote dispatch stats %+v on a rosterless run", name, ph)
+		}
+	}
+}
+
+func TestDistBenchRejectsBadSuiteSize(t *testing.T) {
+	err := runDist(distOptions{Workers: []int{0}, GenN: 0, SkipFixed: true}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("zero-workload generated suite accepted")
+	}
+}

@@ -104,8 +104,26 @@ func main() {
 	flag.IntVar(&o.Repeat, "repeat", 1, "repetitions per phase; the best run is reported")
 	flag.BoolVar(&o.Matrix, "matrix", false, "sweep roster x parallelism x scale and report one cell each")
 	flag.StringVar(&o.Out, "out", "", "also write the JSON report to this file")
+	distMode := flag.Bool("dist", false, "benchmark the distributed coordinator (workers x suite matrix) instead of the replay engine")
+	distWorkerCmd := flag.String("dist-worker-cmd", "ghrpd", "worker daemon binary spawned by -dist (resolved via PATH)")
+	distGenN := flag.Int("dist-gen-n", 10000, "generated-suite size for the -dist matrix")
 	prof := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+	if *distMode {
+		d := distOptions{
+			WorkerCmd:  *distWorkerCmd,
+			Workers:    []int{1, 2, 4},
+			GenN:       *distGenN,
+			FixedScale: 0.01,
+			GenScale:   0.001,
+			Out:        o.Out,
+		}
+		if err := runDist(d, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *prof != "" {
 		f, err := os.Create(*prof)
 		if err != nil {

@@ -9,11 +9,21 @@
 // Usage:
 //
 //	ghrpdist [-workers URL,URL,...] [-spawn N] [-worker-cmd ghrpd]
-//	         [-suite-n N | -workloads a,b,c] [-policies LRU,GHRP,...]
+//	         [-suite-n N | -workloads a,b,c | -gen N] [-policies LRU,...]
+//	         [-gen-seed n] [-gen-mix sm,lm,ss,ls] [-gen-footprint lo,hi]
+//	         [-gen-steps N] [-merge-window N]
 //	         [-scale f] [-seed n] [-keep-going] [-parallelism N]
 //	         [-shard-size N] [-hedge-after d] [-probe-every d]
 //	         [-quarantine-after N] [-shard-attempts N] [-no-local]
 //	         [-out results.json] [-verify] [-progress] [-smoke]
+//	         [-scale-smoke]
+//
+// -gen N runs an N-workload generated suite (category-mix x
+// footprint-sweep x seed grid) instead of the fixed table; shard
+// requests carry only the grid parameters plus an index window, so
+// suites far larger than the 662-entry table cost O(1) bytes to
+// describe. -merge-window bounds how many out-of-order shard results
+// the coordinator may hold parked (0 = auto, negative = unbounded).
 //
 // -verify additionally runs the identical suite single-process and
 // fails (exit 1) unless the merged result matches byte for byte — the
@@ -23,6 +33,13 @@
 // spawn two workers via -worker-cmd, kill one of them the moment its
 // first shard dispatch is announced, and require the merged result to
 // still verify against the single-process reference.
+//
+// -scale-smoke is the scaling self-test `make dist-scale-smoke` wires
+// into CI: spawn two workers, run a generated multi-thousand-workload
+// suite through them while sampling the coordinator's heap, and
+// require (a) bit-identity against the in-process reference and (b) a
+// peak coordinator heap far below what buffering every shard result
+// would cost — the streaming-merge memory guarantee, checked for real.
 package main
 
 import (
@@ -33,13 +50,17 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ghrpsim/internal/dist"
 	"ghrpsim/internal/obs"
+	"ghrpsim/internal/workload"
 )
 
 func main() {
@@ -49,6 +70,12 @@ func main() {
 		workerCmd  = flag.String("worker-cmd", "ghrpd", "command to spawn workers with (resolved via PATH)")
 		suiteN     = flag.Int("suite-n", 0, "run an N-workload suite subsample (0 = full suite)")
 		workloads  = flag.String("workloads", "", "comma-separated workload names (overrides -suite-n)")
+		gen        = flag.Int("gen", 0, "run an N-workload generated suite instead of the fixed table")
+		genSeed    = flag.Uint64("gen-seed", 0, "generated-suite base seed (0 = default)")
+		genMix     = flag.String("gen-mix", "", "generated-suite category weights short_mobile,long_mobile,short_server,long_server (empty = fixed-suite proportions)")
+		genFoot    = flag.String("gen-footprint", "", "generated-suite footprint multiplier bounds min,max (empty = defaults)")
+		genSteps   = flag.Int("gen-steps", 0, "generated-suite footprint sweep steps (0 = default)")
+		window     = flag.Int("merge-window", 0, "max out-of-order shard results parked at the coordinator (0 = auto, negative = unbounded)")
 		policies   = flag.String("policies", "", "comma-separated policies (empty = the paper's five)")
 		scale      = flag.Float64("scale", 1.0, "instruction-budget scale factor")
 		seed       = flag.Uint64("seed", 1, "workload execution seed")
@@ -65,6 +92,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "stream live progress to stderr")
 		timeout    = flag.Duration("timeout", 0, "overall run deadline (0 = none)")
 		smoke      = flag.Bool("smoke", false, "run the kill-a-worker self-test and exit")
+		scaleSmoke = flag.Bool("scale-smoke", false, "run the generated-suite scaling self-test and exit")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "ghrpdist: ", log.LstdFlags)
@@ -74,6 +102,13 @@ func main() {
 			logger.Fatalf("smoke: %v", err)
 		}
 		logger.Print("smoke: ok")
+		return
+	}
+	if *scaleSmoke {
+		if err := runScaleSmoke(logger, *workerCmd); err != nil {
+			logger.Fatalf("scale-smoke: %v", err)
+		}
+		logger.Print("scale-smoke: ok")
 		return
 	}
 
@@ -101,11 +136,21 @@ func main() {
 		Parallelism:     *par,
 		Workers:         roster,
 		ShardSize:       *shardSize,
+		MergeWindow:     *window,
 		HedgeAfter:      *hedge,
 		ProbeEvery:      *probe,
 		QuarantineAfter: *quarantine,
 		ShardAttempts:   *attempts,
 		DisableLocal:    *noLocal,
+	}
+	if *gen > 0 {
+		g, err := genSuite(*gen, *genSeed, *genMix, *genFoot, *genSteps)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		opts.Suite = g
+		opts.SuiteN = 0
+		opts.Workloads = nil
 	}
 	if *progress {
 		opts.Observer = obs.NewProgress(os.Stderr, 250*time.Millisecond)
@@ -147,6 +192,43 @@ func main() {
 		logger.Fatal(err)
 	}
 	logger.Printf("wrote %s", *out)
+}
+
+// genSuite assembles a workload.SuiteGen from the -gen* flags; zero
+// values defer to the generator's defaults.
+func genSuite(n int, seed uint64, mix, foot string, steps int) (*workload.SuiteGen, error) {
+	g := &workload.SuiteGen{N: n, Seed: seed, FootprintSteps: steps}
+	if mix != "" {
+		w, err := parseFloats("-gen-mix", mix, 4)
+		if err != nil {
+			return nil, err
+		}
+		g.Mix = workload.Mix{ShortMobile: w[0], LongMobile: w[1], ShortServer: w[2], LongServer: w[3]}
+	}
+	if foot != "" {
+		b, err := parseFloats("-gen-footprint", foot, 2)
+		if err != nil {
+			return nil, err
+		}
+		g.FootprintMin, g.FootprintMax = b[0], b[1]
+	}
+	return g, nil
+}
+
+func parseFloats(flagName, s string, n int) ([]float64, error) {
+	parts := splitList(s)
+	if len(parts) != n {
+		return nil, fmt.Errorf("%s wants %d comma-separated numbers, got %q", flagName, n, s)
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", flagName, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {
@@ -299,5 +381,100 @@ func runSmoke(logger *log.Logger, workerCmd string) error {
 		return err
 	}
 	logger.Print("smoke: merged result is bit-identical to the single-process reference")
+	return nil
+}
+
+// runScaleSmoke is the CI scaling self-test: a generated
+// multi-thousand-workload suite over two spawned workers, with the
+// coordinator's heap sampled throughout the distributed run. It fails
+// unless the merged result is bit-identical to the in-process
+// reference AND peak coordinator heap stayed under a ceiling sized
+// well below what buffering every shard result would need — so a
+// regression back to O(suite) coordinator memory trips CI, not a
+// pager.
+func runScaleSmoke(logger *log.Logger, workerCmd string) error {
+	const (
+		suiteSize   = 5000
+		shardSize   = 100
+		heapCeiling = 256 << 20 // bytes; generous vs the O(window) target, tiny vs O(suite) buffering
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	var procs []*dist.Proc
+	defer func() {
+		for _, p := range procs {
+			sctx, scancel := context.WithTimeout(context.Background(), 15*time.Second)
+			p.Stop(sctx)
+			scancel()
+		}
+	}()
+	var roster []dist.WorkerSpec
+	for i := 0; i < 2; i++ {
+		p, err := dist.Spawn(workerCmd, nil, os.Stderr)
+		if err != nil {
+			return fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		procs = append(procs, p)
+		roster = append(roster, dist.WorkerSpec{Name: fmt.Sprintf("w%d", i), URL: p.URL(), Proc: p})
+	}
+	logger.Printf("scale-smoke: %d generated workloads over 2 spawned workers", suiteSize)
+
+	// Sample the coordinator's own heap only while the distributed run
+	// is in flight — the single-process reference afterwards is allowed
+	// to (and does) hold the whole suite.
+	var peak atomic.Uint64
+	stopSampling := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	c, err := dist.New(dist.Options{
+		Suite:      &workload.SuiteGen{N: suiteSize, FootprintMin: 0.2, FootprintMax: 1.0},
+		Policies:   []string{"LRU", "GHRP"},
+		Scale:      0.001,
+		ShardSize:  shardSize,
+		HedgeAfter: -1,
+		Workers:    roster,
+		Observer:   obs.NewProgress(os.Stderr, time.Second),
+	})
+	if err != nil {
+		close(stopSampling)
+		return err
+	}
+	m, err := c.Run(ctx)
+	close(stopSampling)
+	<-sampled
+	if err != nil {
+		return err
+	}
+	peakMB := float64(peak.Load()) / (1 << 20)
+	logger.Printf("scale-smoke: merged %d workloads, peak coordinator heap %.1f MB, parked peak %d, affinity %d/%d, worker cache hits %d",
+		len(m.Workloads), peakMB, m.Stats.MergeParkedPeak, m.Stats.AffinityHits, m.Stats.AffinityHits+m.Stats.AffinityMisses, m.Stats.WorkerCacheHits)
+	if len(m.Workloads) != suiteSize {
+		return fmt.Errorf("merged %d workloads, want %d", len(m.Workloads), suiteSize)
+	}
+	if peak.Load() > heapCeiling {
+		return fmt.Errorf("peak coordinator heap %.1f MB exceeds the %d MB ceiling — streaming merge is buffering", peakMB, heapCeiling>>20)
+	}
+	if err := verifyAgainstReference(ctx, c, m); err != nil {
+		return err
+	}
+	logger.Print("scale-smoke: merged result is bit-identical to the in-process reference")
 	return nil
 }

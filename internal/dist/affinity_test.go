@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"testing"
+)
+
+func allUsable(int) bool { return true }
+
+func TestRingCoversAllWorkersRoughlyEvenly(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3"}
+	r := newRing(names)
+	owned := make([]int, len(names))
+	key := uint64(0x1234_5678_9ABC_DEF0)
+	const keys = 4096
+	for i := 0; i < keys; i++ {
+		key = splitmix64(key)
+		wi := r.owner(key, allUsable)
+		if wi < 0 || wi >= len(names) {
+			t.Fatalf("owner(%#x) = %d, out of roster", key, wi)
+		}
+		owned[wi]++
+	}
+	for wi, n := range owned {
+		// 64 virtual points per worker keeps ownership within a loose
+		// band of the fair share (1024); far outside it means the hash
+		// or the ring walk is broken.
+		if n < keys/16 || n > keys/2 {
+			t.Errorf("worker %d owns %d of %d keys, outside [%d, %d]", wi, n, keys, keys/16, keys/2)
+		}
+	}
+}
+
+// Quarantining one worker must move only the keys it owned; everything
+// else keeps its owner (the consistent-hash property), and recovery
+// restores the original placement exactly.
+func TestRingStableUnderWorkerRemoval(t *testing.T) {
+	r := newRing([]string{"w0", "w1", "w2", "w3"})
+	const down = 2
+	without := func(i int) bool { return i != down }
+
+	key := uint64(0xBEEF)
+	moved, kept := 0, 0
+	for i := 0; i < 2048; i++ {
+		key = splitmix64(key)
+		before := r.owner(key, allUsable)
+		after := r.owner(key, without)
+		if before != down {
+			if after != before {
+				t.Fatalf("key %#x moved %d -> %d though its owner stayed healthy", key, before, after)
+			}
+			kept++
+		} else {
+			if after == down {
+				t.Fatalf("key %#x still owned by the unusable worker", key)
+			}
+			moved++
+		}
+		if r.owner(key, allUsable) != before {
+			t.Fatalf("key %#x placement changed after recovery", key)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate ring: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingNoUsableWorkers(t *testing.T) {
+	r := newRing([]string{"w0", "w1"})
+	if got := r.owner(7, func(int) bool { return false }); got != -1 {
+		t.Errorf("owner with an all-down roster = %d, want -1", got)
+	}
+	if newRing(nil) != nil {
+		t.Error("empty roster must yield a nil ring")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := newRing([]string{"alpha", "beta"})
+	b := newRing([]string{"alpha", "beta"})
+	key := uint64(1)
+	for i := 0; i < 512; i++ {
+		key = splitmix64(key)
+		if a.owner(key, allUsable) != b.owner(key, allUsable) {
+			t.Fatalf("ring placement differs across identical rosters at key %#x", key)
+		}
+	}
+}
+
+// Shard affinity keys are a pure function of the shard's identity
+// material: stable within a plan, distinct across shards, and changed
+// by experiment parameters that change worker cache keys.
+func TestShardAffinityKeys(t *testing.T) {
+	c1 := synthCoordinator(t, 12, 3)
+	c2 := synthCoordinator(t, 12, 3)
+	seen := map[uint64]bool{}
+	for i, s := range c1.shards {
+		k1, err := c1.affinityKey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := c2.affinityKey(c2.shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Errorf("shard %d affinity key differs across identical plans", i)
+		}
+		if seen[k1] {
+			t.Errorf("shard %d affinity key collides within the plan", i)
+		}
+		seen[k1] = true
+	}
+
+	o := Options{Suite: c1.gen, Policies: []string{"LRU", "GHRP"}, ShardSize: 3, ExecSeed: 99}
+	c3, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := c1.affinityKey(c1.shards[0])
+	k3, err := c3.affinityKey(c3.shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Error("changing the exec seed did not move the affinity key")
+	}
+}

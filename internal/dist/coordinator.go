@@ -37,6 +37,13 @@ type Options struct {
 	// SuiteN subsample (0 = full suite). Mutually exclusive with SuiteN.
 	Workloads []string
 	SuiteN    int
+	// Suite generates the workload population on demand from a
+	// parameter grid (see workload.SuiteGen) instead of naming fixed
+	// suite members. Shard requests carry only the grid parameters and
+	// an index window, so a 100k-workload run ships a few dozen bytes
+	// per shard and no process ever materializes the whole program set.
+	// Mutually exclusive with Workloads and SuiteN.
+	Suite *workload.SuiteGen
 	// Policies to evaluate; empty selects the paper's five.
 	Policies []string
 	// Scale multiplies instruction budgets; 0 means 1.0.
@@ -79,6 +86,13 @@ type Options struct {
 	// DisableLocal forbids the in-process fallback: a shard exhausting
 	// its attempts fails the run instead. Requires a non-empty roster.
 	DisableLocal bool
+	// MergeWindow bounds how far past the streaming merger's emission
+	// frontier a shard may be dispatched, which bounds the coordinator's
+	// parked-document memory to O(window × shard size) whatever the
+	// suite size. 0 picks max(8, 4 × len(Workers)); negative disables
+	// the gate (every shard dispatchable at once, memory O(suite) in
+	// the worst case — the pre-streaming behavior).
+	MergeWindow int
 
 	// Retry is the per-worker HTTP retry policy; zero fields pick the
 	// package defaults, Seed defaults to ExecSeed.
@@ -101,15 +115,15 @@ const (
 
 // shard is one dispatch unit: a contiguous range of whole workloads.
 type shard struct {
-	idx    int
-	lo, hi int // global workload index range [lo, hi)
-	names  []string
+	idx      int
+	lo, hi   int // global workload index range [lo, hi)
+	names    []string
+	affinity uint64 // consistent-hash ring key; 0 with an empty roster
 
 	// Guarded by Coordinator.mu.
 	state    int
 	attempts int        // dispatches so far (hedges included)
 	live     []*attempt // attempts currently running
-	doc      *serve.ResultDoc
 	err      error
 }
 
@@ -137,7 +151,8 @@ var errHedgeLost = errors.New("dist: hedge lost: another attempt completed first
 // once.
 type Coordinator struct {
 	opts     Options
-	specs    []workload.Spec
+	source   workload.Source
+	gen      *workload.SuiteGen // non-nil for generative suites (defaults applied)
 	names    []string
 	kinds    []frontend.PolicyKind
 	policies []string
@@ -145,6 +160,9 @@ type Coordinator struct {
 	scale    float64
 	seed     uint64
 	workers  []*Worker
+	ring     *ring   // nil with an empty roster
+	window   int     // dispatch gate width past the merge frontier
+	merger   *merger // streaming shard-document fold
 
 	hedgeAfter      time.Duration // 0 = disabled
 	probeEvery      time.Duration // 0 = disabled
@@ -175,28 +193,41 @@ func New(opts Options) (*Coordinator, error) {
 	c := &Coordinator{opts: opts}
 
 	switch {
+	case opts.Suite != nil:
+		if len(opts.Workloads) > 0 || opts.SuiteN != 0 {
+			return nil, errors.New("dist: suite generator is mutually exclusive with workloads and suite_n")
+		}
+		g := opts.Suite.WithDefaults()
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		c.gen = &g
+		c.source = g
 	case len(opts.Workloads) > 0:
 		if opts.SuiteN != 0 {
 			return nil, errors.New("dist: workloads and suite_n are mutually exclusive")
 		}
-		c.specs = make([]workload.Spec, len(opts.Workloads))
+		specs := make([]workload.Spec, len(opts.Workloads))
 		for i, name := range opts.Workloads {
 			spec, err := workload.Find(name)
 			if err != nil {
 				return nil, err
 			}
-			c.specs[i] = spec
+			specs[i] = spec
 		}
+		c.source = workload.SliceSource(specs)
 	case opts.SuiteN < 0:
 		return nil, fmt.Errorf("dist: suite_n %d is negative", opts.SuiteN)
 	case opts.SuiteN == 0:
-		c.specs = workload.Suite()
+		c.source = workload.SliceSource(workload.Suite())
 	default:
-		c.specs = workload.SuiteN(opts.SuiteN)
+		c.source = workload.SliceSource(workload.SuiteN(opts.SuiteN))
 	}
-	c.names = make([]string, len(c.specs))
-	for i, s := range c.specs {
-		c.names[i] = s.Name
+	// Names are the one per-workload slice the coordinator keeps: they
+	// are the merged document's output axis (strings, not programs).
+	c.names = make([]string, c.source.Len())
+	for i := range c.names {
+		c.names[i] = c.source.At(i).Name
 	}
 
 	c.kinds = frontend.PaperPolicies()
@@ -274,6 +305,7 @@ func New(opts Options) (*Coordinator, error) {
 			Name:   name,
 			Client: NewClient(ws.URL, r, opts.Faults, c.emit, name),
 			Proc:   ws.Proc,
+			index:  i,
 		}
 	}
 
@@ -283,20 +315,48 @@ func New(opts Options) (*Coordinator, error) {
 		if denom < 1 {
 			denom = 1
 		}
-		size = (len(c.specs) + denom - 1) / denom
+		size = (len(c.names) + denom - 1) / denom
 		if size < 1 {
 			size = 1
 		}
 	}
-	for lo := 0; lo < len(c.specs); lo += size {
+	for lo := 0; lo < len(c.names); lo += size {
 		hi := lo + size
-		if hi > len(c.specs) {
-			hi = len(c.specs)
+		if hi > len(c.names) {
+			hi = len(c.names)
 		}
 		s := &shard{idx: len(c.shards), lo: lo, hi: hi, names: c.names[lo:hi]}
 		c.shards = append(c.shards, s)
 		c.pending = append(c.pending, s)
 	}
+
+	c.window = opts.MergeWindow
+	if c.window == 0 {
+		c.window = 4 * len(c.workers)
+		if c.window < 8 {
+			c.window = 8
+		}
+	}
+	if c.window < 0 {
+		c.window = len(c.shards) // unbounded: every shard is in window
+	}
+
+	if len(c.workers) > 0 {
+		wnames := make([]string, len(c.workers))
+		for i, w := range c.workers {
+			wnames[i] = w.Name
+		}
+		c.ring = newRing(wnames)
+		for _, s := range c.shards {
+			key, err := c.affinityKey(s)
+			if err != nil {
+				return nil, err
+			}
+			s.affinity = key
+		}
+	}
+
+	c.merger = newMerger(c.names, c.policies)
 	c.remaining = len(c.shards)
 	c.doneC = make(chan struct{})
 	c.kickC = make(chan struct{})
@@ -421,15 +481,11 @@ func (c *Coordinator) Run(ctx context.Context) (*Merged, error) {
 	return c.finish(start)
 }
 
-// finish merges the shard documents and stamps the run-level stats.
+// finish finalizes the streaming merge and stamps the run-level stats.
+// By the time it runs, every shard document has already been folded
+// (and released) at completion; no per-shard state is re-read here.
 func (c *Coordinator) finish(start time.Time) (*Merged, error) {
-	c.mu.Lock()
-	docs := make([]*serve.ResultDoc, len(c.shards))
-	for i, s := range c.shards {
-		docs[i] = s.doc
-	}
-	c.mu.Unlock()
-	m, err := c.mergeDocs(docs)
+	m, cacheHits, parkedPeak, err := c.merger.result(len(c.shards))
 	if err != nil {
 		return nil, err
 	}
@@ -437,6 +493,8 @@ func (c *Coordinator) finish(start time.Time) (*Merged, error) {
 	c.statMu.Lock()
 	c.stats.Workers = len(c.workers)
 	c.stats.Shards = len(c.shards)
+	c.stats.WorkerCacheHits = cacheHits
+	c.stats.MergeParkedPeak = parkedPeak
 	c.stats.WallMS = float64(wall) / float64(time.Millisecond)
 	m.Stats = c.stats
 	c.statMu.Unlock()
@@ -474,8 +532,9 @@ func (c *Coordinator) workerLoop(rctx context.Context, w *Worker) {
 	}
 }
 
-// next blocks until w can take an attempt: a pending shard, or — with
-// the queue empty — a straggling shard worth hedging. It returns nil
+// next blocks until w can take an attempt: an in-window pending shard
+// (preferring the ones the affinity ring assigns to w), or — with
+// nothing claimable — a straggling shard worth hedging. It returns nil
 // when the run is over or rctx ends.
 func (c *Coordinator) next(rctx context.Context, w *Worker) *attempt {
 	for {
@@ -485,12 +544,17 @@ func (c *Coordinator) next(rctx context.Context, w *Worker) *attempt {
 			return nil
 		}
 		if w.usable() {
-			if len(c.pending) > 0 {
-				s := c.pending[0]
-				c.pending = c.pending[1:]
+			if s, affine := c.claimPendingLocked(w); s != nil {
 				att := c.newAttemptLocked(s, w, false)
 				c.mu.Unlock()
-				c.emit(obs.Event{Kind: obs.ShardDispatch, Shard: s.idx, Shards: len(c.shards), Worker: w.Name, Attempt: att.n})
+				c.statMu.Lock()
+				if affine {
+					c.stats.AffinityHits++
+				} else {
+					c.stats.AffinityMisses++
+				}
+				c.statMu.Unlock()
+				c.emit(obs.Event{Kind: obs.ShardDispatch, Shard: s.idx, Shards: len(c.shards), Worker: w.Name, Attempt: att.n, Affinity: affine})
 				return att
 			}
 			if c.hedgeAfter > 0 {
@@ -512,6 +576,45 @@ func (c *Coordinator) next(rctx context.Context, w *Worker) *attempt {
 		}
 	}
 }
+
+// claimPendingLocked removes and returns the pending shard w should
+// run: the lowest-indexed in-window shard the affinity ring assigns to
+// w, else — so affinity never idles a worker — the lowest-indexed
+// in-window shard outright (a steal). Shards beyond the merge window
+// are invisible until the frontier advances; nil means nothing is
+// claimable. affine reports whether the claim honored ring placement.
+func (c *Coordinator) claimPendingLocked(w *Worker) (s *shard, affine bool) {
+	if len(c.pending) == 0 {
+		return nil, false
+	}
+	limit := c.merger.Frontier() + c.window
+	mine, any := -1, -1
+	for i, p := range c.pending {
+		if p.idx >= limit {
+			continue
+		}
+		if any < 0 || p.idx < c.pending[any].idx {
+			any = i
+		}
+		if c.ring != nil && (mine < 0 || p.idx < c.pending[mine].idx) &&
+			c.ring.owner(p.affinity, c.usableWorker) == w.index {
+			mine = i
+		}
+	}
+	pick := mine
+	if pick < 0 {
+		pick = any
+	}
+	if pick < 0 {
+		return nil, false
+	}
+	s = c.pending[pick]
+	c.pending = append(c.pending[:pick], c.pending[pick+1:]...)
+	return s, pick == mine
+}
+
+// usableWorker adapts the roster to the affinity ring's health lookup.
+func (c *Coordinator) usableWorker(i int) bool { return c.workers[i].usable() }
 
 // hedgeCandidateLocked picks the stalest in-flight shard whose single
 // live attempt runs on a different worker and has shown no liveness
@@ -595,10 +698,12 @@ func terminalState(s string) bool { return s == "done" || s == "failed" || s == 
 
 // shardRequest builds the worker submission for s. It carries the
 // coordinator's normalized values, so the worker's own normalization
-// is the identity function on everything that matters.
+// is the identity function on everything that matters. Generative
+// suites ship as grid parameters plus the shard's index window — a
+// few dozen bytes per shard whatever the suite size — and the worker
+// regenerates the identical specs from them.
 func (c *Coordinator) shardRequest(s *shard) serve.RunRequest {
-	return serve.RunRequest{
-		Workloads:     s.names,
+	req := serve.RunRequest{
 		Policies:      c.policies,
 		Scale:         c.scale,
 		ExecSeed:      c.seed,
@@ -607,6 +712,12 @@ func (c *Coordinator) shardRequest(s *shard) serve.RunRequest {
 		Parallelism:   c.opts.Parallelism,
 		ProgressEvery: c.opts.ProgressEvery,
 	}
+	if c.gen != nil {
+		req.Suite = &serve.SuiteGenDoc{SuiteGen: *c.gen, Lo: s.lo, Hi: s.hi}
+	} else {
+		req.Workloads = s.names
+	}
+	return req
 }
 
 // forward re-emits one worker event with suite-global indices. Only
@@ -658,7 +769,6 @@ func (c *Coordinator) completeShard(s *shard, att *attempt, doc *serve.ResultDoc
 		return
 	}
 	s.state = shardDone
-	s.doc = doc
 	for _, l := range s.live {
 		if l == att {
 			continue
@@ -669,6 +779,20 @@ func (c *Coordinator) completeShard(s *shard, att *attempt, doc *serve.ResultDoc
 		}
 	}
 	s.live = nil
+	c.mu.Unlock()
+
+	// Fold the document before announcing completion: once remaining
+	// hits zero, finish() reads the merger, and the fold also advances
+	// the frontier the dispatch gate watches — kick after, not before.
+	// The shardDone flip above makes this the document's only fold; the
+	// document is released here, not retained until the run ends.
+	if err := c.merger.complete(s, doc); err != nil {
+		c.mu.Lock()
+		c.failure = errors.Join(c.failure, err)
+		c.mu.Unlock()
+	}
+
+	c.mu.Lock()
 	c.remaining--
 	last := c.remaining == 0
 	c.kickLocked()
@@ -764,7 +888,10 @@ func (c *Coordinator) anyUsableLocked() bool {
 	return false
 }
 
-// failShard resolves a shard as permanently failed.
+// failShard resolves a shard as permanently failed. The merger
+// tombstones it so the emission frontier passes it: the run is failing
+// either way, but a gated frontier stuck on a dead shard would park
+// every lane and the remaining shards could never drain.
 func (c *Coordinator) failShard(s *shard, err error) {
 	c.mu.Lock()
 	if s.state == shardDone {
@@ -774,6 +901,11 @@ func (c *Coordinator) failShard(s *shard, err error) {
 	s.state = shardDone
 	s.err = err
 	c.failure = errors.Join(c.failure, err)
+	c.mu.Unlock()
+
+	c.merger.fail(s.idx)
+
+	c.mu.Lock()
 	c.remaining--
 	last := c.remaining == 0
 	c.kickLocked()
@@ -817,6 +949,9 @@ func (c *Coordinator) nextLocal(rctx context.Context) *shard {
 			return nil
 		}
 		if len(c.localQ) > 0 {
+			// Fallback shards already passed the dispatch gate when they
+			// were first dispatched, so the local lane never re-gates them
+			// (gating here could strand a shard no lane may claim).
 			s := c.localQ[0]
 			c.localQ = c.localQ[1:]
 			s.state = shardInflight
@@ -824,11 +959,22 @@ func (c *Coordinator) nextLocal(rctx context.Context) *shard {
 			return s
 		}
 		if !c.anyUsableLocked() && len(c.pending) > 0 {
-			s := c.pending[0]
-			c.pending = c.pending[1:]
-			s.state = shardInflight
-			c.mu.Unlock()
-			return s
+			// The merge window gates this lane too; the frontier shard is
+			// always in window, so a drained roster still makes progress.
+			limit := c.merger.Frontier() + c.window
+			pick := -1
+			for i, p := range c.pending {
+				if p.idx < limit && (pick < 0 || p.idx < c.pending[pick].idx) {
+					pick = i
+				}
+			}
+			if pick >= 0 {
+				s := c.pending[pick]
+				c.pending = append(c.pending[:pick], c.pending[pick+1:]...)
+				s.state = shardInflight
+				c.mu.Unlock()
+				return s
+			}
 		}
 		ch := c.kickC
 		c.mu.Unlock()
@@ -845,7 +991,7 @@ func (c *Coordinator) nextLocal(rctx context.Context) *shard {
 // use, so the merged document cannot tell local from remote.
 func (c *Coordinator) simShard(ctx context.Context, s *shard, observe bool) (*serve.ResultDoc, error) {
 	opts := sim.Options{
-		Workloads:     c.specs[s.lo:s.hi],
+		Source:        workload.NewRange(c.source, s.lo, s.hi),
 		Config:        c.cfg,
 		Policies:      c.kinds,
 		Scale:         c.scale,

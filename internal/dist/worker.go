@@ -55,6 +55,10 @@ type Worker struct {
 	// spawner (cmd/ghrpdist, tests) owns Stop/Kill.
 	Proc *Proc
 
+	// index is the worker's roster position, the identity the affinity
+	// ring hands out.
+	index int
+
 	mu    sync.Mutex
 	state workerState
 	fails int

@@ -154,6 +154,9 @@ type Event struct {
 	Shard  int
 	Shards int
 	Worker string
+	// Affinity marks a primary ShardDispatch that landed on the worker
+	// the coordinator's cache-affinity ring assigns the shard to.
+	Affinity bool
 }
 
 // Observer consumes progress events. Observers attached to a parallel
@@ -408,20 +411,23 @@ func newProgress(w io.Writer, interval time.Duration, now func() time.Time) Obse
 }
 
 type progress struct {
-	mu        sync.Mutex
-	w         io.Writer
-	interval  time.Duration
-	now       func() time.Time
-	started   bool
-	start     time.Time
-	lastPrint time.Time
-	total     int
-	done      int
-	failed    int
-	cached    int    // policy cells served from the result cache
-	retries   int    // task attempts repeated after transient failures
-	records   uint64 // records of completed policy replays
-	inFlight  map[[2]int]uint64
+	mu         sync.Mutex
+	w          io.Writer
+	interval   time.Duration
+	now        func() time.Time
+	started    bool
+	start      time.Time
+	lastPrint  time.Time
+	total      int
+	done       int
+	failed     int
+	cached     int    // policy cells served from the result cache
+	retries    int    // task attempts repeated after transient failures
+	records    uint64 // records of completed policy replays
+	shards     int    // total shards on a distributed run (0 otherwise)
+	shardsDone int
+	affinity   int // shard dispatches that honored cache affinity
+	inFlight   map[[2]int]uint64
 }
 
 func (p *progress) observe(e Event) {
@@ -437,6 +443,7 @@ func (p *progress) observe(e Event) {
 	switch e.Kind {
 	case RunStart:
 		p.total = e.Workloads
+		p.shards = e.Shards
 	case Tick:
 		p.inFlight[key] = e.Records
 	case PolicyDone:
@@ -444,11 +451,29 @@ func (p *progress) observe(e Event) {
 		p.records += e.Records
 	case PolicyCached:
 		p.cached++
-	case WorkloadDone:
+	case WorkloadDone, WorkloadFailed:
+		// The distributed coordinator forwards ticks but emits workload
+		// lifecycle only at shard completion — no per-policy events — so
+		// any counters still in flight for this workload bank here.
+		// Without this sweep the map grows one entry per (workload,
+		// policy) cell over the whole run and in-flight records are
+		// counted forever: a 100k-workload run leaks without it.
+		for k, r := range p.inFlight {
+			if k[0] == e.WorkloadIndex {
+				p.records += r
+				delete(p.inFlight, k)
+			}
+		}
 		p.done++
-	case WorkloadFailed:
-		p.done++
-		p.failed++
+		if e.Kind == WorkloadFailed {
+			p.failed++
+		}
+	case ShardDone:
+		p.shardsDone++
+	case ShardDispatch:
+		if e.Affinity {
+			p.affinity++
+		}
 	case TaskRetry:
 		p.retries++
 	}
@@ -468,6 +493,15 @@ func (p *progress) observe(e Event) {
 	}
 	fmt.Fprintf(p.w, "progress: %d/%d workloads, %s records, %s rec/s, %s elapsed",
 		p.done, p.total, siCount(float64(records)), siCount(rate), elapsed.Round(time.Second))
+	if elapsed > 0 && p.done > 0 {
+		fmt.Fprintf(p.w, ", %s wl/s", siCount(float64(p.done)/elapsed.Seconds()))
+	}
+	if p.shards > 0 {
+		fmt.Fprintf(p.w, ", shards %d/%d", p.shardsDone, p.shards)
+	}
+	if p.affinity > 0 {
+		fmt.Fprintf(p.w, ", %d affine", p.affinity)
+	}
 	if p.cached > 0 {
 		fmt.Fprintf(p.w, ", %d cached", p.cached)
 	}

@@ -32,8 +32,9 @@ import (
 
 // apiVersion versions the submission identity: bump it when request
 // normalization or simulation semantics change in a way that must not
-// dedup against runs submitted under the old scheme.
-const apiVersion = 1
+// dedup against runs submitted under the old scheme. Version 2 added
+// generative-suite submissions (RunRequest.Suite) to the identity.
+const apiVersion = 2
 
 // RunRequest is the POST /runs body. Zero values select documented
 // defaults; the normalized form (defaults applied, workloads resolved)
@@ -45,6 +46,13 @@ type RunRequest struct {
 	// SuiteN picks an evenly spaced subsample of the 662-workload suite
 	// when Workloads is empty; 0 means the full suite.
 	SuiteN int `json:"suite_n,omitempty"`
+	// Suite selects a generated suite instead of the fixed table: the
+	// grid parameters plus an optional [lo, hi) index window, so a
+	// 100k-workload suite is submitted as a few integers — workers
+	// synthesize their shard's specs on demand rather than receiving
+	// (or echoing) 100k names. Mutually exclusive with Workloads and
+	// SuiteN.
+	Suite *SuiteGenDoc `json:"suite,omitempty"`
 	// Policies to evaluate; empty selects the paper's five.
 	Policies []string `json:"policies,omitempty"`
 	// Scale multiplies each workload's default instruction budget;
@@ -68,6 +76,20 @@ type RunRequest struct {
 	// events; 0 uses the simulator default. Presentation-only, so also
 	// excluded from the dedup identity.
 	ProgressEvery uint64 `json:"progress_every,omitempty"`
+}
+
+// SuiteGenDoc is the wire form of a generated suite: the
+// workload.SuiteGen grid parameters (flattened) plus an optional
+// execution window. The normalized echo carries defaults applied and
+// the window resolved, and is part of the dedup identity — equal grids
+// plus equal windows dedup, anything else does not.
+type SuiteGenDoc struct {
+	workload.SuiteGen
+	// Lo/Hi restrict execution to the half-open index window [Lo, Hi)
+	// of the generated suite — the distributed coordinator's shard
+	// unit. Hi 0 means the full suite.
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
 }
 
 // ConfigDoc is the request's front-end configuration override; zero
@@ -116,6 +138,7 @@ func (d *ConfigDoc) Apply(cfg frontend.Config) frontend.Config {
 type identity struct {
 	Version   int
 	Workloads []string
+	Suite     *SuiteGenDoc
 	Policies  []string
 	Scale     float64
 	ExecSeed  uint64
@@ -156,14 +179,36 @@ func IsBadRequest(err error) bool {
 func normalize(req RunRequest, d Defaults) (job, error) {
 	var j job
 
-	// Workload resolution: explicit names win over the subsample.
-	var specs []workload.Spec
+	// Workload resolution: a generated suite or explicit names win over
+	// the subsample. Generated suites stay lazy end to end — the source
+	// yields specs by index, and the request echo carries the grid
+	// parameters, never a name per workload.
+	var source workload.Source
+	var names []string
+	var suiteDoc *SuiteGenDoc
 	switch {
+	case req.Suite != nil:
+		if len(req.Workloads) > 0 || req.SuiteN != 0 {
+			return j, badRequestf("serve: suite is mutually exclusive with workloads and suite_n")
+		}
+		g := req.Suite.SuiteGen.WithDefaults()
+		if err := g.Validate(); err != nil {
+			return j, &errBadRequest{err}
+		}
+		lo, hi := req.Suite.Lo, req.Suite.Hi
+		if hi == 0 {
+			hi = g.N
+		}
+		if lo < 0 || hi < lo || hi > g.N {
+			return j, badRequestf("serve: suite window [%d, %d) out of range [0, %d]", lo, hi, g.N)
+		}
+		source = workload.NewRange(g, lo, hi)
+		suiteDoc = &SuiteGenDoc{SuiteGen: g, Lo: lo, Hi: hi}
 	case len(req.Workloads) > 0:
 		if req.SuiteN != 0 {
 			return j, badRequestf("serve: workloads and suite_n are mutually exclusive")
 		}
-		specs = make([]workload.Spec, len(req.Workloads))
+		specs := make([]workload.Spec, len(req.Workloads))
 		for i, name := range req.Workloads {
 			spec, err := workload.Find(name)
 			if err != nil {
@@ -171,16 +216,19 @@ func normalize(req RunRequest, d Defaults) (job, error) {
 			}
 			specs[i] = spec
 		}
+		source = workload.SliceSource(specs)
 	case req.SuiteN < 0:
 		return j, badRequestf("serve: suite_n %d is negative", req.SuiteN)
 	case req.SuiteN == 0:
-		specs = workload.Suite()
+		source = workload.SliceSource(workload.Suite())
 	default:
-		specs = workload.SuiteN(req.SuiteN)
+		source = workload.SliceSource(workload.SuiteN(req.SuiteN))
 	}
-	names := make([]string, len(specs))
-	for i, s := range specs {
-		names[i] = s.Name
+	if suiteDoc == nil {
+		names = make([]string, source.Len())
+		for i := range names {
+			names[i] = source.At(i).Name
+		}
 	}
 
 	kinds := frontend.PaperPolicies()
@@ -214,9 +262,9 @@ func normalize(req RunRequest, d Defaults) (job, error) {
 	if err := cfg.Validate(); err != nil {
 		return j, &errBadRequest{err}
 	}
-	if d.MaxCells > 0 && len(specs)*len(kinds) > d.MaxCells {
+	if d.MaxCells > 0 && source.Len()*len(kinds) > d.MaxCells {
 		return j, badRequestf("serve: request is %d cells (%d workloads x %d policies), daemon limit is %d — shrink suite_n or the policy list",
-			len(specs)*len(kinds), len(specs), len(kinds), d.MaxCells)
+			source.Len()*len(kinds), source.Len(), len(kinds), d.MaxCells)
 	}
 
 	parallelism := req.Parallelism
@@ -226,6 +274,7 @@ func normalize(req RunRequest, d Defaults) (job, error) {
 
 	j.req = RunRequest{
 		Workloads:     names,
+		Suite:         suiteDoc,
 		Policies:      policyNames,
 		Scale:         scale,
 		ExecSeed:      seed,
@@ -237,6 +286,7 @@ func normalize(req RunRequest, d Defaults) (job, error) {
 	key, err := resultcache.KeyOf(identity{
 		Version:   apiVersion,
 		Workloads: names,
+		Suite:     suiteDoc,
 		Policies:  policyNames,
 		Scale:     scale,
 		ExecSeed:  seed,
@@ -248,7 +298,7 @@ func normalize(req RunRequest, d Defaults) (job, error) {
 	}
 	j.key = key
 	j.opts = sim.Options{
-		Workloads:     specs,
+		Source:        source,
 		Config:        cfg,
 		Policies:      kinds,
 		Scale:         scale,

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"ghrpsim/internal/workload"
+)
+
+// TestGenSubmitFullAndWindow covers the generative submission path: a
+// whole generated suite runs end to end, and a windowed submission (the
+// distributed coordinator's shard shape) covers exactly its index
+// range with the same names the generator yields.
+func TestGenSubmitFullAndWindow(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 2, QueueDepth: 8, Defaults: Defaults{JobParallelism: 2}})
+
+	sub, code := submit(t, ts, `{"suite": {"n": 5}, "policies": ["LRU", "GHRP"], "scale": 0.001}`)
+	if code != http.StatusCreated {
+		t.Fatalf("gen submit: code %d", code)
+	}
+	waitState(t, ts, sub.Status.ID, StateDone)
+	var full ResultDoc
+	if code := getJSON(t, ts, "/runs/"+sub.Status.ID+"/result", &full); code != http.StatusOK {
+		t.Fatalf("result: code %d", code)
+	}
+	g := workload.SuiteGen{N: 5}
+	if len(full.Workloads) != 5 {
+		t.Fatalf("full gen run covered %d workloads, want 5", len(full.Workloads))
+	}
+	for i, name := range full.Workloads {
+		if want := g.At(i).Name; name != want {
+			t.Errorf("workload %d named %q, want the generator's %q", i, name, want)
+		}
+	}
+
+	sub, code = submit(t, ts, `{"suite": {"n": 5, "lo": 2, "hi": 4}, "policies": ["LRU", "GHRP"], "scale": 0.001}`)
+	if code != http.StatusCreated {
+		t.Fatalf("windowed gen submit: code %d", code)
+	}
+	waitState(t, ts, sub.Status.ID, StateDone)
+	var win ResultDoc
+	if code := getJSON(t, ts, "/runs/"+sub.Status.ID+"/result", &win); code != http.StatusOK {
+		t.Fatalf("windowed result: code %d", code)
+	}
+	if len(win.Workloads) != 2 {
+		t.Fatalf("window [2,4) covered %d workloads, want 2", len(win.Workloads))
+	}
+	for i, name := range win.Workloads {
+		if want := g.At(2 + i).Name; name != want {
+			t.Errorf("window workload %d named %q, want %q", i, name, want)
+		}
+	}
+	// The windowed vectors are the full run's slice: same cells, same
+	// values, whichever submission shape carried them.
+	for _, p := range []string{"LRU", "GHRP"} {
+		for i := 0; i < 2; i++ {
+			if win.ICacheMPKI[p][i] != full.ICacheMPKI[p][2+i] {
+				t.Errorf("policy %s cell %d: window %v != full %v", p, i, win.ICacheMPKI[p][i], full.ICacheMPKI[p][2+i])
+			}
+		}
+	}
+}
+
+// Generative-suite identity: the grid parameters (and window) are part
+// of the run's content hash, so identical submissions dedup onto one
+// run and any parameter change creates a distinct one.
+func TestGenSubmitIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 1, QueueDepth: 8, Defaults: Defaults{JobParallelism: 1}})
+
+	const body = `{"suite": {"n": 3, "seed": 7}, "policies": ["LRU"], "scale": 0.001}`
+	a, code := submit(t, ts, body)
+	if code != http.StatusCreated || !a.Created {
+		t.Fatalf("first gen submit: code %d created %v", code, a.Created)
+	}
+	b, code := submit(t, ts, body)
+	if code != http.StatusOK || b.Created || b.Status.ID != a.Status.ID {
+		t.Fatalf("duplicate gen submit: code %d created %v id %s (want join of %s)", code, b.Created, b.Status.ID, a.Status.ID)
+	}
+	for _, other := range []string{
+		`{"suite": {"n": 3, "seed": 8}, "policies": ["LRU"], "scale": 0.001}`,
+		`{"suite": {"n": 3, "seed": 7, "lo": 1}, "policies": ["LRU"], "scale": 0.001}`,
+		`{"suite": {"n": 3, "seed": 7, "footprint_steps": 2}, "policies": ["LRU"], "scale": 0.001}`,
+	} {
+		o, code := submit(t, ts, other)
+		if code != http.StatusCreated || o.Status.ID == a.Status.ID {
+			t.Errorf("submission %s: code %d id %s, want a distinct run", other, code, o.Status.ID)
+		}
+	}
+	waitState(t, ts, a.Status.ID, StateDone)
+}
+
+func TestGenSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slots: 1, QueueDepth: 4, Defaults: Defaults{JobParallelism: 1, MaxCells: 40}})
+
+	bad := []string{
+		`{"suite": {"n": 2}, "suite_n": 2, "policies": ["LRU"]}`,
+		`{"suite": {"n": 2}, "workloads": ["SM-001"], "policies": ["LRU"]}`,
+		`{"suite": {"n": 0}, "policies": ["LRU"]}`,
+		`{"suite": {"n": 4, "lo": 3, "hi": 2}, "policies": ["LRU"]}`,
+		`{"suite": {"n": 4, "hi": 9}, "policies": ["LRU"]}`,
+		`{"suite": {"n": 4, "lo": -1}, "policies": ["LRU"]}`,
+		`{"suite": {"n": 4, "footprint_min": -0.5}, "policies": ["LRU"]}`,
+		// MaxCells applies to the window, so an over-budget full grid
+		// must be rejected while a small window of it (below) passes.
+		`{"suite": {"n": 100000}, "policies": ["LRU"], "scale": 0.001}`,
+	}
+	for _, body := range bad {
+		if _, code := submit(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("submission %s: code %d, want 400", body, code)
+		}
+	}
+
+	sub, code := submit(t, ts, `{"suite": {"n": 100000, "lo": 50000, "hi": 50002}, "policies": ["LRU"], "scale": 0.001}`)
+	if code != http.StatusCreated {
+		t.Fatalf("windowed slice of a 100k grid rejected: code %d", code)
+	}
+	waitState(t, ts, sub.Status.ID, StateDone)
+	var doc ResultDoc
+	getJSON(t, ts, "/runs/"+sub.Status.ID+"/result", &doc)
+	if len(doc.Workloads) != 2 || !strings.Contains(doc.Workloads[0], "-050000") {
+		t.Fatalf("100k window workloads = %v, want two G*-05000x names", doc.Workloads)
+	}
+}

@@ -62,10 +62,11 @@ func ComputeHeadroom(ctx context.Context, opts Options) (HeadroomReport, error) 
 	polV := map[frontend.PolicyKind][]float64{}
 	failed := 0
 
-	for _, spec := range opts.Workloads {
+	for wi := 0; wi < opts.Source.Len(); wi++ {
 		if err := ctx.Err(); err != nil {
 			return HeadroomReport{}, err
 		}
+		spec := opts.Source.At(wi)
 		lru, optMPKI, pol, err := headroomWorkload(opts, spec)
 		if err != nil {
 			if opts.KeepGoing {

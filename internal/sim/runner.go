@@ -38,6 +38,12 @@ const (
 type Options struct {
 	// Workloads to simulate; defaults to the full 662-workload suite.
 	Workloads []workload.Spec
+	// Source yields workloads by index without materializing them up
+	// front — the 100k-scale path (workload.SuiteGen, shard ranges).
+	// Mutually exclusive with Workloads; nil falls back to Workloads or
+	// the full suite. Only one Spec per workload is ever held in the
+	// output; programs are synthesized per task and released after it.
+	Source workload.Source
 	// Config is the front-end configuration; defaults to the paper's.
 	Config frontend.Config
 	// Policies to evaluate; nil defaults to the paper's five. A non-nil
@@ -106,8 +112,12 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Workloads == nil {
-		o.Workloads = workload.Suite()
+	if o.Source == nil {
+		if o.Workloads != nil {
+			o.Source = workload.SliceSource(o.Workloads)
+		} else {
+			o.Source = workload.SliceSource(workload.Suite())
+		}
 	}
 	if o.Config.ICache == (frontend.ICacheConfig{}) {
 		o.Config = frontend.DefaultConfig()
@@ -150,6 +160,9 @@ func (o Options) validate() error {
 // prepare applies defaults and validates; every suite entry point goes
 // through it.
 func (o Options) prepare() (Options, error) {
+	if o.Source != nil && o.Workloads != nil {
+		return Options{}, errors.New("sim: Options.Source and Options.Workloads are mutually exclusive")
+	}
 	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return Options{}, err
@@ -308,10 +321,14 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, np := len(opts.Workloads), len(opts.Policies)
+	n, np := opts.Source.Len(), len(opts.Policies)
 	out := &Measurements{
-		Options:    opts,
-		Specs:      opts.Workloads,
+		Options: opts,
+		// One Spec per workload is the runner's only per-suite
+		// materialization: it is the output index of the vectors below.
+		// Programs stay lazy — synthesized inside each task, released
+		// when it retires.
+		Specs:      workload.Materialize(opts.Source),
 		Policies:   opts.Policies,
 		ICacheMPKI: map[frontend.PolicyKind][]float64{},
 		BTBMPKI:    map[frontend.PolicyKind][]float64{},
@@ -334,7 +351,7 @@ func RunContext(ctx context.Context, opts Options) (*Measurements, error) {
 	for wi := range r.states {
 		// Result slots are preallocated so tasks write disjoint elements
 		// without a lock.
-		out.Raw[wi] = WorkloadResult{Spec: opts.Workloads[wi],
+		out.Raw[wi] = WorkloadResult{Spec: out.Specs[wi],
 			Results: make([]frontend.Result, np), Completed: make([]bool, np)}
 	}
 	var quarantined0 int64
@@ -511,7 +528,7 @@ func (r *runState) runTaskRetrying(ctx context.Context, t task) error {
 		}
 		retry := attempt + 1
 		r.observe(obs.Event{Kind: obs.TaskRetry,
-			Workload: opts.Workloads[t.wi].Name, WorkloadIndex: t.wi,
+			Workload: r.out.Specs[t.wi].Name, WorkloadIndex: t.wi,
 			Attempt: retry, Err: err})
 		seed := opts.ExecSeed ^ uint64(t.wi)<<20
 		if delay := retryDelay(opts.RetryBackoff, retry, seed); delay > 0 {
@@ -545,8 +562,8 @@ func (r *runState) runTaskSafe(ctx context.Context, t task) (err error) {
 func (r *runState) runTask(ctx context.Context, t task) error {
 	opts := r.opts
 	st := &r.states[t.wi]
-	spec := opts.Workloads[t.wi]
-	n, np := len(opts.Workloads), len(opts.Policies)
+	spec := r.out.Specs[t.wi]
+	n, np := len(r.out.Specs), len(opts.Policies)
 	target := targetFor(spec, opts.Scale)
 
 	if !st.started {
@@ -725,8 +742,8 @@ func (r *runState) record(wi, pi int, res frontend.Result) {
 func (r *runState) finishTask(ctx context.Context, wi int, err error) {
 	st := &r.states[wi]
 	st.prog = nil // release for GC; this workload is done
-	spec := r.opts.Workloads[wi]
-	n := len(r.opts.Workloads)
+	spec := r.out.Specs[wi]
+	n := len(r.out.Specs)
 	var elapsed time.Duration
 	if st.started {
 		elapsed = time.Since(st.start)

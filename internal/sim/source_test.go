@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ghrpsim/internal/frontend"
+	"ghrpsim/internal/workload"
+)
+
+// A lazily sourced run (generated suite, windowed — the distributed
+// shard shape) must be bit-identical to the same specs materialized up
+// front through Options.Workloads: Source changes when specs are
+// realized, never what is simulated.
+func TestRunSourceMatchesMaterialized(t *testing.T) {
+	g := workload.SuiteGen{N: 8}
+	src := workload.NewRange(g, 2, 6)
+	policies := []frontend.PolicyKind{frontend.PolicyLRU, frontend.PolicyGHRP}
+
+	lazy, err := Run(Options{Source: src, Policies: policies, Scale: 0.001, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := Run(Options{Workloads: workload.Materialize(src), Policies: policies, Scale: 0.001, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(lazy.Specs) != 4 || len(eager.Specs) != 4 {
+		t.Fatalf("got %d lazy / %d eager specs, want 4", len(lazy.Specs), len(eager.Specs))
+	}
+	for wi := range lazy.Specs {
+		if lazy.Specs[wi].Name != eager.Specs[wi].Name {
+			t.Errorf("spec %d named %q lazily, %q materialized", wi, lazy.Specs[wi].Name, eager.Specs[wi].Name)
+		}
+		if want := g.At(2 + wi).Name; lazy.Specs[wi].Name != want {
+			t.Errorf("spec %d named %q, want the generator's %q", wi, lazy.Specs[wi].Name, want)
+		}
+		for pi, k := range policies {
+			if lazy.Raw[wi].Results[pi] != eager.Raw[wi].Results[pi] {
+				t.Errorf("%s/%v: lazy and materialized runs diverged", lazy.Specs[wi].Name, k)
+			}
+			if lazy.ICacheMPKI[k][wi] != eager.ICacheMPKI[k][wi] || lazy.BTBMPKI[k][wi] != eager.BTBMPKI[k][wi] {
+				t.Errorf("%s/%v: MPKI vectors diverged", lazy.Specs[wi].Name, k)
+			}
+		}
+	}
+}
+
+func TestRunSourceAndWorkloadsMutuallyExclusive(t *testing.T) {
+	src := workload.SliceSource(workload.SuiteN(2))
+	_, err := Run(Options{Source: src, Workloads: workload.SuiteN(2)})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("got %v, want a mutual-exclusion error", err)
+	}
+}

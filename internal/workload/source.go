@@ -1,0 +1,56 @@
+package workload
+
+// Source yields workload specs by suite-global index without requiring
+// the whole suite to be materialized. The fixed 662-entry table
+// (SliceSource over Suite()) and the parameterized generator (SuiteGen)
+// implement it, and a Range restricts either to a shard's index window
+// — which is how 100k-workload runs stay memory-flat: the scheduler, a
+// worker daemon, and the distributed coordinator all pull specs on
+// demand instead of holding a []Spec of the whole suite.
+//
+// A Source must be deterministic and read-only: At(i) returns the
+// identical Spec on every call, in every process, so any two holders of
+// the same source parameters agree on every workload without shipping
+// specs over the wire.
+type Source interface {
+	// Len is the number of workloads.
+	Len() int
+	// At returns workload i, 0 <= i < Len(). Specs are cheap value
+	// objects; callers needing the program call Spec.Generate.
+	At(i int) Spec
+}
+
+// SliceSource adapts a materialized spec slice to Source.
+type SliceSource []Spec
+
+func (s SliceSource) Len() int      { return len(s) }
+func (s SliceSource) At(i int) Spec { return s[i] }
+
+// Range restricts src to the half-open index window [Lo, Hi). At(i)
+// returns src.At(Lo+i) unchanged, so Spec.Index stays suite-global —
+// exactly what shard merging needs to fold results back by position.
+type Range struct {
+	Src    Source
+	Lo, Hi int
+}
+
+// NewRange bounds-checks and builds a Range over src.
+func NewRange(src Source, lo, hi int) Range {
+	if lo < 0 || hi < lo || hi > src.Len() {
+		panic("workload: Range bounds out of source")
+	}
+	return Range{Src: src, Lo: lo, Hi: hi}
+}
+
+func (r Range) Len() int      { return r.Hi - r.Lo }
+func (r Range) At(i int) Spec { return r.Src.At(r.Lo + i) }
+
+// Materialize copies a source's specs into a slice (small sources,
+// tests, and output documents; avoid on 100k-scale sources).
+func Materialize(src Source) []Spec {
+	out := make([]Spec, src.Len())
+	for i := range out {
+		out[i] = src.At(i)
+	}
+	return out
+}

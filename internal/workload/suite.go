@@ -89,6 +89,26 @@ func SuiteN(n int) []Spec {
 func newSpec(cat trace.Category, catIdx, globalIdx int) Spec {
 	r := newRNG(uint64(suiteSeed) ^ uint64(globalIdx)*0x9E3779B97F4A7C15 ^ uint64(cat)<<56)
 	name := fmt.Sprintf("%s-%03d", shortName(cat), catIdx+1)
+	return drawSpec(r, cat, name, globalIdx, 1)
+}
+
+// drawSpec draws one workload's parameters from its category template,
+// with the code-footprint knobs (function counts, init-code length)
+// scaled by mult — 1 reproduces the fixed suite's sizing exactly, and
+// SuiteGen sweeps it for the footprint axis. Every multiplier consumes
+// the identical rng draw sequence (scaling transforms draw bounds, not
+// draw counts), so changing mult never perturbs unrelated parameters.
+func drawSpec(r *rng, cat trace.Category, name string, globalIdx int, mult float64) Spec {
+	scl := func(v int) int {
+		if mult == 1 {
+			return v
+		}
+		s := int(math.Round(float64(v) * mult))
+		if s < 2 {
+			s = 2
+		}
+		return s
+	}
 
 	p := Profile{
 		Name:     name,
@@ -96,7 +116,7 @@ func newSpec(cat trace.Category, catIdx, globalIdx int) Spec {
 		Seed:     r.next(),
 	}
 	if cat.Server() {
-		p.Funcs = logUniformInt(r, 400, 3000)
+		p.Funcs = logUniformInt(r, scl(400), scl(3000))
 		p.BlocksMin, p.BlocksMax = 8, 18
 		p.InstrsMin, p.InstrsMax = 3, 6
 		p.LoopFrac = 0.25 + 0.25*r.float()
@@ -108,7 +128,7 @@ func newSpec(cat trace.Category, catIdx, globalIdx int) Spec {
 		p.ColdBias = 0.02 + 0.06*r.float()
 		p.ZipfTheta = 0.9
 		p.DispatchIndirect = true
-		p.InitBlocks = logUniformInt(r, 100, 400)
+		p.InitBlocks = logUniformInt(r, scl(100), scl(400))
 		// Server workloads fall into regimes, as real server traces do:
 		// flush-dominated (a steady working set periodically swept by
 		// giant recurring scans: GC passes, log flushes, table walks —
@@ -119,7 +139,7 @@ func newSpec(cat trace.Category, catIdx, globalIdx int) Spec {
 		regime := r.float()
 		switch {
 		case regime < 0.38: // flush-dominated
-			p.PhaseFuncs = logUniformInt(r, 100, 260)
+			p.PhaseFuncs = logUniformInt(r, scl(100), scl(260))
 			nScan := r.rangeInt(2, 4)
 			p.ScanFrac = float64(nScan) / (float64(p.Funcs) * (1 - p.UtilityFrac))
 			p.ScanLenMul = logUniformInt(r, 150, 700)
@@ -128,13 +148,13 @@ func newSpec(cat trace.Category, catIdx, globalIdx int) Spec {
 			p.ScanWeight = 35.0 / float64(p.ScanLenMul)
 			p.BurstMin, p.BurstMax = 1, r.rangeInt(5, 12)
 		case regime < 0.82: // marginal capacity
-			p.PhaseFuncs = logUniformInt(r, 260, 650)
+			p.PhaseFuncs = logUniformInt(r, scl(260), scl(650))
 			p.ZipfTheta = 0.7
 			p.ScanFrac = 0
 			p.ScanLenMul = 1
 			p.BurstMin, p.BurstMax = 1, r.rangeInt(2, 4)
 		default: // mixed
-			p.PhaseFuncs = logUniformInt(r, 150, 450)
+			p.PhaseFuncs = logUniformInt(r, scl(150), scl(450))
 			nScan := r.rangeInt(1, 2)
 			p.ScanFrac = float64(nScan) / (float64(p.Funcs) * (1 - p.UtilityFrac))
 			p.ScanLenMul = logUniformInt(r, 100, 400)
@@ -145,7 +165,7 @@ func newSpec(cat trace.Category, catIdx, globalIdx int) Spec {
 			p.PhaseFuncs = p.Funcs
 		}
 	} else {
-		p.Funcs = logUniformInt(r, 60, 500)
+		p.Funcs = logUniformInt(r, scl(60), scl(500))
 		p.BlocksMin, p.BlocksMax = 6, 14
 		p.InstrsMin, p.InstrsMax = 4, 12
 		p.LoopFrac = 0.5 + 0.4*r.float()
@@ -158,7 +178,7 @@ func newSpec(cat trace.Category, catIdx, globalIdx int) Spec {
 		p.PhaseFuncs = int(float64(p.Funcs) * (0.15 + 0.35*r.float()))
 		p.ZipfTheta = 0.9
 		p.DispatchIndirect = r.float() < 0.3
-		p.InitBlocks = logUniformInt(r, 50, 200)
+		p.InitBlocks = logUniformInt(r, scl(50), scl(200))
 		nScan := r.intn(3)
 		p.ScanFrac = float64(nScan) / (float64(p.Funcs) * (1 - p.UtilityFrac))
 		p.ScanLenMul = logUniformInt(r, 30, 150)
