@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support: `make ci` does not demand a historically clean
+// module, it demands no NEW findings. A checked-in lint.baseline file
+// records the accepted debt, one finding per line as
+//
+//	relative/path.go: [analyzer] message
+//
+// deliberately without line numbers — an unrelated edit above an
+// accepted finding must not resurrect it. A current diagnostic absent
+// from the baseline fails the gate; a baseline line no diagnostic
+// matches anymore is reported as stale so paid-off debt is retired from
+// the file.
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as a JSON array (one object per
+// finding, stable field order), with paths relative to root.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// BaselineKey is a diagnostic's line-number-free identity, the unit of
+// baseline matching.
+func BaselineKey(root string, d Diagnostic) string {
+	return fmt.Sprintf("%s: [%s] %s", relPath(root, d.Pos.Filename), d.Analyzer, d.Message)
+}
+
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// WriteBaseline writes the baseline file for the given diagnostics:
+// sorted, deduplicated keys with a short header.
+func WriteBaseline(w io.Writer, root string, diags []Diagnostic) error {
+	keys := map[string]bool{}
+	for _, d := range diags {
+		keys[BaselineKey(root, d)] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	if _, err := fmt.Fprintln(w, "# ghrplint baseline: accepted findings, one `file: [analyzer] message` per line."); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# Regenerate with `make lint-baseline`; the CI gate fails only on findings absent here."); err != nil {
+		return err
+	}
+	for _, k := range sorted {
+		if _, err := fmt.Fprintln(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBaseline parses a baseline file into its key set. A missing file
+// is an empty baseline.
+func ReadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	keys := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys[line] = true
+	}
+	return keys, sc.Err()
+}
+
+// ApplyBaseline splits diagnostics into the new ones (not covered by
+// the baseline) and returns the stale baseline keys nothing matched.
+func ApplyBaseline(root string, diags []Diagnostic, baseline map[string]bool) (fresh []Diagnostic, stale []string) {
+	matched := map[string]bool{}
+	for _, d := range diags {
+		key := BaselineKey(root, d)
+		if baseline[key] {
+			matched[key] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for k := range baseline {
+		if !matched[k] {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}

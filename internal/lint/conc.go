@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ghrpsim/internal/lint/callgraph"
+)
+
+// This file holds the classification and summary machinery shared by
+// the concurrency analyzers (goroleak, ctxflow, lockblock).
+
+// recvTypeName returns the bare name of a method's receiver type
+// (pointer stripped), or "" for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// blockingNetCall classifies an external callee as a blocking network
+// operation: the calls ctxflow requires a context.Context to be in
+// scope for. Returns "" for everything else.
+func blockingNetCall(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	recv := recvTypeName(fn)
+	switch fn.Pkg().Path() {
+	case "net/http":
+		if recv == "" {
+			switch fn.Name() {
+			case "Get", "Post", "Head", "PostForm":
+				return "http." + fn.Name()
+			}
+		}
+		if recv == "Client" {
+			switch fn.Name() {
+			case "Do", "Get", "Post", "PostForm", "Head":
+				return "(*http.Client)." + fn.Name()
+			}
+		}
+	case "net":
+		if strings.HasPrefix(fn.Name(), "Dial") {
+			if recv == "" {
+				return "net." + fn.Name()
+			}
+			if recv == "Dialer" {
+				return "(*net.Dialer)." + fn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// blockingCall is the broader lockblock classification: any external
+// callee that can park the calling goroutine for an unbounded (or
+// peer-paced) time. io.Writer writes are deliberately absent — writing
+// a progress line to a local file or terminal is not a stall — but
+// http.ResponseWriter writes and Flusher flushes ARE here: an SSE
+// client that stops reading backpressures straight into the server.
+// sync.Cond.Wait is exempt because it releases the mutex while parked.
+func blockingCall(fn *types.Func) string {
+	if r := blockingNetCall(fn); r != "" {
+		return r
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	recv := recvTypeName(fn)
+	switch fn.Pkg().Path() {
+	case "time":
+		if recv == "" && fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		if recv == "WaitGroup" && fn.Name() == "Wait" {
+			return "(*sync.WaitGroup).Wait"
+		}
+	case "os/exec":
+		if recv == "Cmd" {
+			switch fn.Name() {
+			case "Wait", "Run", "Output", "CombinedOutput":
+				return "(*exec.Cmd)." + fn.Name()
+			}
+		}
+	case "net/http":
+		if recv == "ResponseWriter" && fn.Name() == "Write" {
+			return "http.ResponseWriter.Write"
+		}
+		if recv == "Flusher" && fn.Name() == "Flush" {
+			return "http.Flusher.Flush"
+		}
+	}
+	return ""
+}
+
+// chanBlockReason scans a body for channel operations that can park the
+// goroutine: a send or receive outside a select, or a select without a
+// default clause. Function literals are skipped — their bodies run on
+// whatever goroutine invokes them, which this body-level scan cannot
+// see.
+func chanBlockReason(pkg *Package, body *ast.BlockStmt) string {
+	reason := ""
+	var walk func(n ast.Node, inSelect bool)
+	walk = func(n ast.Node, inSelect bool) {
+		if n == nil || reason != "" {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.SelectStmt:
+			if !hasDefaultClause(x) {
+				reason = "a select with no default"
+				return
+			}
+			for _, cl := range x.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						walk(s, false)
+					}
+				}
+			}
+			return
+		case *ast.SendStmt:
+			if !inSelect {
+				reason = "a channel send"
+				return
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" && !inSelect && isChanType(pkg, x.X) {
+				reason = "a channel receive"
+				return
+			}
+		}
+		ast.Inspect(n, func(nd ast.Node) bool {
+			if nd == n {
+				return true
+			}
+			walk(nd, inSelect)
+			return false
+		})
+	}
+	for _, s := range body.List {
+		walk(s, false)
+	}
+	return reason
+}
+
+func hasDefaultClause(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// blockSummaries computes, for every module function, why it may block
+// (or "" if it provably cannot, within the approximation): a direct
+// blocking operation in its own body, or a call to a module function
+// that may block. Propagation runs callee-to-caller over Static and
+// TypeParam edges only — interface/func-value fan-out edges are too
+// conservative to turn into "this caller blocks" facts without drowning
+// the report in false positives.
+func blockSummaries(pass *Pass, classify func(*types.Func) string, chanOps bool) map[*types.Func]string {
+	reason := map[*types.Func]string{}
+	for _, n := range pass.Graph.Nodes() {
+		for _, ec := range n.External {
+			if r := classify(ec.Fn); r != "" {
+				reason[n.Func] = r
+				break
+			}
+		}
+		if _, ok := reason[n.Func]; !ok && chanOps {
+			if pkg := pass.PackageOf(n); pkg != nil {
+				if r := chanBlockReason(pkg, n.Decl.Body); r != "" {
+					reason[n.Func] = r
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range pass.Graph.Nodes() {
+			if _, ok := reason[n.Func]; ok {
+				continue
+			}
+			for _, e := range n.Out {
+				if e.Kind != callgraph.Static && e.Kind != callgraph.TypeParam {
+					continue
+				}
+				if r, ok := reason[e.Callee.Func]; ok {
+					reason[n.Func] = e.Callee.Name() + ", which reaches " + rootBlockReason(r)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reason
+}
+
+// rootBlockReason strips the "X, which reaches" chain prefix so nested
+// propagation reports the original operation, not a growing sentence.
+func rootBlockReason(r string) string {
+	if i := strings.LastIndex(r, "which reaches "); i >= 0 {
+		return r[i+len("which reaches "):]
+	}
+	return r
+}
+
+// hasCtxInScope reports whether a cancellation signal is available
+// inside the function: a context.Context or *http.Request parameter, or
+// any expression of context type used in the body (a stored s.baseCtx
+// field, a locally constructed context).
+func hasCtxInScope(pkg *Package, fd *ast.FuncDecl) bool {
+	check := func(t types.Type) bool {
+		return isContextType(t) || isHTTPRequestPtr(t)
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			if tv, ok := pkg.Info.Types[f.Type]; ok && check(tv.Type) {
+				return true
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			if tv, ok := pkg.Info.Types[f.Type]; ok && check(tv.Type) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[e]; ok && check(tv.Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Request"
+}
+
+// ctxParamed reports whether fn itself takes a context.Context (or
+// *http.Request) parameter — callers can cancel it, so ctxflow stops
+// the blame chain there.
+func ctxParamed(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isContextType(t) || isHTTPRequestPtr(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"ghrpsim/internal/lint/callgraph"
+)
+
+// CtxFlow requires a cancellation signal wherever the serving stack can
+// block on the network. In serve and dist, an HTTP round-trip or a raw
+// dial with no context.Context in scope is a request that can hang a
+// worker slot for as long as the peer feels like: the daemon's
+// graceful-shutdown path and the coordinator's hedging both depend on
+// every blocking network call being cancellable.
+//
+// The check is interprocedural: a function "may block on the network"
+// if its body performs one of the classified blocking calls (see
+// blockingNetCall) or statically calls a module function that does.
+// Inside the concurrency packages, a function with no context in scope
+// — no ctx or *http.Request parameter, no context-typed expression in
+// the body — is reported at each direct blocking site and at each call
+// into a may-block module function that itself takes no context (such
+// a callee could not be cancelled even if the caller had a ctx to
+// give). Callees inside the concurrency packages are exempt from the
+// second form: they get their own report at the actual blocking site,
+// and cascading the same finding up every caller would bury it.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "require a context.Context in scope wherever serve/dist/obs can block on the network",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	mayBlock := blockSummaries(pass, blockingNetCall, false)
+	for _, n := range pass.Graph.Nodes() {
+		pkg := pass.PackageOf(n)
+		if pkg == nil || !concurrent(pkg) {
+			continue
+		}
+		if hasCtxInScope(pkg, n.Decl) {
+			continue
+		}
+		for _, ec := range n.External {
+			if r := blockingNetCall(ec.Fn); r != "" {
+				pass.Reportf(ec.Pos,
+					"%s blocks on the network with no context.Context in scope in %s; plumb a ctx parameter so the call can be cancelled",
+					r, n.Name())
+			}
+		}
+		for _, e := range n.Out {
+			if e.Kind != callgraph.Static && e.Kind != callgraph.TypeParam {
+				continue
+			}
+			r, blocks := mayBlock[e.Callee.Func]
+			if !blocks || ctxParamed(e.Callee.Func) {
+				continue
+			}
+			if cpkg := pass.PackageOf(e.Callee); cpkg != nil && concurrent(cpkg) {
+				continue // the callee gets its own report at the blocking site
+			}
+			pass.Reportf(e.Pos,
+				"call to %s eventually blocks on the network (%s) and neither it nor %s has a context.Context; plumb a ctx through",
+				e.Callee.Name(), rootBlockReason(r), n.Name())
+		}
+	}
+}

@@ -24,24 +24,26 @@ var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "forbid math/rand global-state functions in non-test code",
 	Run: func(pass *Pass) {
-		for id, obj := range pass.Pkg.Info.Uses {
-			fn, ok := obj.(*types.Func)
-			if !ok || fn.Pkg() == nil {
-				continue
+		for _, pkg := range pass.Pkgs {
+			for id, obj := range pkg.Info.Uses {
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					continue
+				}
+				path := fn.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					continue
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					continue // method on an explicit *Rand
+				}
+				if globalStateSafeRand[fn.Name()] {
+					continue
+				}
+				pass.Reportf(id.Pos(),
+					"%s.%s draws from process-global randomness; thread a seeded generator instead (see internal/workload/rng.go)",
+					path, fn.Name())
 			}
-			path := fn.Pkg().Path()
-			if path != "math/rand" && path != "math/rand/v2" {
-				continue
-			}
-			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				continue // method on an explicit *Rand
-			}
-			if globalStateSafeRand[fn.Name()] {
-				continue
-			}
-			pass.Reportf(id.Pos(),
-				"%s.%s draws from process-global randomness; thread a seeded generator instead (see internal/workload/rng.go)",
-				path, fn.Name())
 		}
 	},
 }

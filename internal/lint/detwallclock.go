@@ -28,20 +28,22 @@ var DetWallClock = &Analyzer{
 	Name: "detwallclock",
 	Doc:  "forbid time.Now/Since/Sleep and friends in deterministic packages",
 	Run: func(pass *Pass) {
-		if !deterministic(pass.Pkg) {
-			return
-		}
-		for id, obj := range pass.Pkg.Info.Uses {
-			fn, ok := obj.(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		for _, pkg := range pass.Pkgs {
+			if !deterministic(pkg) {
 				continue
 			}
-			if !wallClockFuncs[fn.Name()] {
-				continue
+			for id, obj := range pkg.Info.Uses {
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					continue
+				}
+				if !wallClockFuncs[fn.Name()] {
+					continue
+				}
+				pass.Reportf(id.Pos(),
+					"time.%s reads the wall clock; %s is a deterministic package — inject elapsed values from sim/obs instead",
+					fn.Name(), pkg.Name)
 			}
-			pass.Reportf(id.Pos(),
-				"time.%s reads the wall clock; %s is a deterministic package — inject elapsed values from sim/obs instead",
-				fn.Name(), pass.Pkg.Name)
 		}
 	},
 }

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags goroutines in the concurrency packages that have no
+// way to exit. The serving daemon and the distributed coordinator are
+// long-lived processes: a goroutine leaked per request (or per hedged
+// probe) is a slow memory exhaustion that no test catches because each
+// individual leak is tiny. Two shapes are reported:
+//
+//   - an unconditional `for { ... }` whose body contains no return,
+//     no break out of the loop and no goto — the goroutine spins (or
+//     parks inside the loop) until process exit, with no path out even
+//     when its work is done;
+//   - a bare channel send (outside any select) on a channel that is
+//     visibly unbuffered — the hedged-request trap: if the receiver
+//     already took another branch's result and moved on, the send
+//     parks the goroutine forever. A buffered channel or a select
+//     with a ctx.Done() case lets the loser retire.
+//
+// The goroutine body is the `go` statement's function literal, or the
+// module function it statically calls. Dynamic `go` targets (interface
+// methods, function values) are not checked. Channels whose make site
+// is not visible in the package (parameters, struct fields) get the
+// benefit of the doubt, as do makes with a non-constant capacity.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flag goroutines with no exit path and forever-blocking bare sends in serve/dist/obs",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		if !concurrent(pkg) {
+			continue
+		}
+		buffered := channelBufferFacts(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := goBody(pass, pkg, gs)
+				if body == nil {
+					return true
+				}
+				checkGoroutineBody(pass, pkg, gs, body, buffered)
+				return true
+			})
+		}
+	}
+}
+
+// goBody resolves the statements a `go` statement runs: a literal's
+// body directly, or the body of the module function it statically
+// calls.
+func goBody(pass *Pass, pkg *Package, gs *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calledFunc(pkg, gs.Call)
+	if fn == nil {
+		return nil
+	}
+	if n := pass.Graph.Node(fn); n != nil {
+		return n.Decl.Body
+	}
+	return nil
+}
+
+// channelBufferFacts scans a package for `make(chan T, cap)` sites and
+// records, per channel variable, whether every visible make gives it a
+// buffer. Variables with no visible make are absent from the map.
+func channelBufferFacts(pkg *Package) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltin(pkg, call, "make") {
+			return
+		}
+		if tv, ok := pkg.Info.Types[call]; !ok || func() bool {
+			_, isChan := tv.Type.Underlying().(*types.Chan)
+			return !isChan
+		}() {
+			return
+		}
+		obj := rootVar(pkg, lhs)
+		if obj == nil {
+			return
+		}
+		isBuf := false
+		if len(call.Args) >= 2 {
+			isBuf = true // non-constant capacity: benefit of the doubt
+			if tv, ok := pkg.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+				if v, okInt := constant.Int64Val(tv.Value); okInt && v == 0 {
+					isBuf = false
+				}
+			}
+		}
+		if prev, seen := out[obj]; seen {
+			out[obj] = prev && isBuf
+		} else {
+			out[obj] = isBuf
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				record(as.Lhs[i], as.Rhs[i])
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkGoroutineBody(pass *Pass, pkg *Package, gs *ast.GoStmt, body *ast.BlockStmt, buffered map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if x.Cond == nil && !loopEscapes(x.Body) {
+				pass.Reportf(x.For,
+					"goroutine's unconditional for loop has no return, break or goto: it can never exit; add a ctx.Done()/closed-channel case that returns")
+			}
+		case *ast.SendStmt:
+			checkBareSend(pass, pkg, x, buffered)
+		}
+		return true
+	})
+	// A send as the whole goroutine body (go func() { ch <- v }())
+	// is covered by the walk above; a `go send(ch, v)` indirection is
+	// covered because goBody resolved the callee's body.
+	_ = gs
+}
+
+// loopEscapes reports whether an unconditional loop's body has any exit
+// path: a return, a goto, a labeled break, or an unlabeled break not
+// captured by a nested for/switch/select.
+func loopEscapes(body *ast.BlockStmt) bool {
+	escapes := false
+	var walk func(n ast.Node, inNested bool)
+	walk = func(n ast.Node, inNested bool) {
+		if n == nil || escapes {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return // runs on another goroutine / later; not an exit
+		case *ast.ReturnStmt:
+			escapes = true
+			return
+		case *ast.BranchStmt:
+			switch x.Tok {
+			case token.GOTO:
+				escapes = true
+			case token.BREAK:
+				if x.Label != nil || !inNested {
+					escapes = true
+				}
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			inNested = true
+		}
+		ast.Inspect(n, func(nd ast.Node) bool {
+			if nd == n {
+				return true
+			}
+			walk(nd, inNested)
+			return false
+		})
+	}
+	for _, s := range body.List {
+		walk(s, false)
+	}
+	return escapes
+}
+
+// checkBareSend reports a send outside any select on a channel that is
+// visibly unbuffered.
+func checkBareSend(pass *Pass, pkg *Package, send *ast.SendStmt, buffered map[types.Object]bool) {
+	if sendInSelect(pkg, send) {
+		return
+	}
+	obj := rootVar(pkg, send.Chan)
+	if obj == nil {
+		return
+	}
+	isBuf, seen := buffered[obj]
+	if !seen || isBuf {
+		return
+	}
+	pass.Reportf(send.Arrow,
+		"goroutine sends on unbuffered channel %s outside a select: if the receiver is gone the send parks this goroutine forever — buffer the channel (cap >= senders) or select against ctx.Done()",
+		types.ExprString(send.Chan))
+}
+
+// sendInSelect reports whether the send statement is a select
+// communication clause (where the runtime can take another branch).
+func sendInSelect(pkg *Package, send *ast.SendStmt) bool {
+	in := false
+	for _, f := range pkg.Files {
+		if f.Pos() <= send.Pos() && send.End() <= f.End() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectStmt)
+				if !ok {
+					return true
+				}
+				for _, cl := range sel.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == send {
+						in = true
+					}
+				}
+				return !in
+			})
+			break
+		}
+	}
+	return in
+}

@@ -5,6 +5,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"ghrpsim/internal/lint/callgraph"
 )
 
 // hotPathMarker is the annotation that opts a function into HotAlloc.
@@ -16,9 +18,10 @@ const hotPathMarker = "//ghrp:hotpath"
 // predict/update round trip — run once or more per branch record;
 // testing.AllocsPerRun pins their allocation count at test time, and
 // this analyzer pins the same property at lint time, before a test ever
-// runs. Annotated functions and, one level deep, the same-package
-// functions they statically call are checked for heap-allocating
-// constructs:
+// runs. Annotated functions and every module function transitively
+// reachable from them through the call graph — static calls, the
+// generic AccessWith specializations, interface fan-out, calls through
+// function values — are checked for heap-allocating constructs:
 //
 //   - make / new / slice and map literals / &T{...}
 //   - append to a buffer that is not visibly pre-sized (reslice it with
@@ -29,38 +32,64 @@ const hotPathMarker = "//ghrp:hotpath"
 //   - boxing: converting, passing or returning a non-pointer-shaped
 //     value as an interface
 //
-// Calls through interfaces cannot be resolved statically; annotate the
-// concrete implementation (as the prefetch filter does) to cover them.
+// Each diagnostic in a reached function names the call chain that made
+// it hot. Propagation stops at call sites whose line carries a
+// //ghrplint:ignore hotalloc directive, so a suppressed cold branch (a
+// panic path) does not drag its callees onto the hot path. Calls
+// through closures are the one blind spot: function literals are not
+// call-graph nodes — but creating the closure inside hot code is itself
+// flagged, so the gap cannot go unnoticed.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "flag heap allocations in //ghrp:hotpath functions and their direct callees",
+	Doc:  "flag heap allocations in //ghrp:hotpath functions and everything they transitively call",
 	Run: func(pass *Pass) {
-		decls := map[*types.Func]*ast.FuncDecl{}
-		var order []*ast.FuncDecl
-		for _, f := range pass.Pkg.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					decls[obj] = fd
-					order = append(order, fd)
+		var roots []*callgraph.Node
+		for _, pkg := range pass.Pkgs {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || !hotPathAnnotated(fd) {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						if n := pass.Graph.Node(obj); n != nil {
+							roots = append(roots, n)
+						}
+					}
 				}
 			}
 		}
-		checked := map[*ast.FuncDecl]bool{}
-		for _, fd := range order {
-			if !hotPathAnnotated(fd) {
+		reached := pass.Graph.Reach(roots, func(e *callgraph.Edge) bool {
+			// A suppressed call site is a cold branch: do not let it pull
+			// its callees onto the hot path.
+			return pass.IgnoredAt(e.Pos)
+		})
+		for _, n := range pass.Graph.Nodes() {
+			if reached[n.Func] == nil {
 				continue
 			}
-			checkHotFunc(pass, fd, "", checked)
-			root := fd.Name.Name
-			for _, callee := range directCallees(pass, fd, decls) {
-				checkHotFunc(pass, callee, root, checked)
+			pkg := pass.PackageOf(n)
+			if pkg == nil {
+				continue
 			}
+			checkHotFunc(pass, pkg, n.Decl, hotVia(reached, n))
 		}
 	},
+}
+
+// hotVia renders the discovery chain of a reached function: empty for
+// annotated roots, " (on the //ghrp:hotpath path via A -> B)" for a
+// function reached from root A through B.
+func hotVia(reached callgraph.ReachSet, n *callgraph.Node) string {
+	chain := reached.Chain(n.Func)
+	if len(chain) <= 1 {
+		return "" // n is itself a root
+	}
+	names := make([]string, len(chain)-1)
+	for i, c := range chain[:len(chain)-1] {
+		names[i] = c.Name()
+	}
+	return " (on the " + hotPathMarker + " path via " + strings.Join(names, " -> ") + ")"
 }
 
 // hotPathAnnotated reports whether the declaration's doc comment
@@ -77,48 +106,16 @@ func hotPathAnnotated(fd *ast.FuncDecl) bool {
 	return false
 }
 
-// directCallees returns the same-package functions fd statically calls,
-// in source order. Interface-dispatched calls are invisible here by
-// construction.
-func directCallees(pass *Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
-	var out []*ast.FuncDecl
-	seen := map[*ast.FuncDecl]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := calledFunc(pass, call)
-		if fn == nil || fn.Pkg() != pass.Pkg.Types {
-			return true
-		}
-		if callee, ok := decls[fn]; ok && callee != fd && !seen[callee] {
-			seen[callee] = true
-			out = append(out, callee)
-		}
-		return true
-	})
-	return out
-}
-
 // checkHotFunc reports every allocating construct in one function.
-// root is the annotated function this one was reached from ("" when fd
-// is itself annotated).
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string, checked map[*ast.FuncDecl]bool) {
-	if checked[fd] {
-		return
-	}
-	checked[fd] = true
-	via := ""
-	if root != "" {
-		via = " (on the " + hotPathMarker + " path via " + root + ")"
-	}
+// via is the rendered hot-path chain suffix ("" when fd is itself
+// annotated).
+func checkHotFunc(pass *Pass, pkg *Package, fd *ast.FuncDecl, via string) {
 	report := func(pos token.Pos, format string, args ...any) {
 		pass.Reportf(pos, format+"%s", append(args, via)...)
 	}
 	presized := presizedBuffers(fd)
-	params := paramObjects(pass, fd)
-	sig, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	params := paramObjects(pkg, fd)
+	sig, _ := pkg.Info.Defs[fd.Name].(*types.Func)
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -128,7 +125,7 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string, checked map[*ast.Fu
 			report(n.Pos(), "closure allocates")
 			return false
 		case *ast.CallExpr:
-			checkHotCall(pass, n, presized, params, report)
+			checkHotCall(pass, pkg, n, presized, params, report)
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
@@ -136,7 +133,7 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string, checked map[*ast.Fu
 				}
 			}
 		case *ast.CompositeLit:
-			if tv, ok := pass.Pkg.Info.Types[n]; ok {
+			if tv, ok := pkg.Info.Types[n]; ok {
 				switch tv.Type.Underlying().(type) {
 				case *types.Slice:
 					report(n.Pos(), "slice literal allocates its backing array")
@@ -146,20 +143,20 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string, checked map[*ast.Fu
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD {
-				if tv, ok := pass.Pkg.Info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+				if tv, ok := pkg.Info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
 					report(n.Pos(), "string concatenation allocates")
 				}
 			}
 		case *ast.AssignStmt:
 			if n.Tok == token.ADD_ASSIGN {
-				if tv, ok := pass.Pkg.Info.Types[n.Lhs[0]]; ok && isString(tv.Type) {
+				if tv, ok := pkg.Info.Types[n.Lhs[0]]; ok && isString(tv.Type) {
 					report(n.Pos(), "string concatenation allocates")
 				}
 			}
-			checkInterfaceAssign(pass, n, report)
+			checkInterfaceAssign(pkg, n, report)
 		case *ast.ReturnStmt:
 			if sig != nil {
-				checkInterfaceReturn(pass, n, sig.Type().(*types.Signature), report)
+				checkInterfaceReturn(pkg, n, sig.Type().(*types.Signature), report)
 			}
 		}
 		return true
@@ -198,14 +195,14 @@ func isZeroReslice(se *ast.SliceExpr) bool {
 // paramObjects returns the objects of fd's parameters: appending to a
 // parameter slice is the caller's pre-sizing contract, not this
 // function's allocation.
-func paramObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+func paramObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
 	out := map[types.Object]bool{}
 	if fd.Type.Params == nil {
 		return out
 	}
 	for _, field := range fd.Type.Params.List {
 		for _, name := range field.Names {
-			if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+			if obj := pkg.Info.Defs[name]; obj != nil {
 				out[obj] = true
 			}
 		}
@@ -216,8 +213,8 @@ func paramObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
 // checkHotCall handles the call-shaped allocation sources: make/new,
 // unsized append, fmt, string<->[]byte conversions, and boxing a value
 // argument into an interface parameter.
-func checkHotCall(pass *Pass, call *ast.CallExpr, presized map[string]bool, params map[types.Object]bool, report func(token.Pos, string, ...any)) {
-	tv, ok := pass.Pkg.Info.Types[call.Fun]
+func checkHotCall(pass *Pass, pkg *Package, call *ast.CallExpr, presized map[string]bool, params map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	tv, ok := pkg.Info.Types[call.Fun]
 	if !ok {
 		return
 	}
@@ -226,7 +223,7 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, presized map[string]bool, para
 		if len(call.Args) != 1 {
 			return
 		}
-		src, ok := pass.Pkg.Info.Types[call.Args[0]]
+		src, ok := pkg.Info.Types[call.Args[0]]
 		if !ok {
 			return
 		}
@@ -249,34 +246,34 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, presized map[string]bool, para
 			if len(call.Args) == 0 {
 				return
 			}
-			if appendPreSized(pass, call.Args[0], presized, params) {
+			if appendPreSized(pkg, call.Args[0], presized, params) {
 				return
 			}
 			report(call.Pos(), "append may grow its backing array; reuse a pre-sized buffer (x = x[:0]) instead")
 		}
 	default:
-		if fn := calledFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if fn := calledFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
 			report(call.Pos(), "fmt.%s allocates (formatting boxes its operands)", fn.Name())
 		}
 		sig, ok := tv.Type.(*types.Signature)
 		if !ok {
 			return
 		}
-		checkBoxingArgs(pass, call, sig, report)
+		checkBoxingArgs(pkg, call, sig, report)
 	}
 }
 
 // appendPreSized reports whether the append target is visibly reused:
 // appended to as x[:0] directly, reset with x = x[:0] in this function,
 // or a parameter (pre-sized by the caller's contract).
-func appendPreSized(pass *Pass, dst ast.Expr, presized map[string]bool, params map[types.Object]bool) bool {
+func appendPreSized(pkg *Package, dst ast.Expr, presized map[string]bool, params map[types.Object]bool) bool {
 	if se, ok := ast.Unparen(dst).(*ast.SliceExpr); ok && isZeroReslice(se) {
 		return true
 	}
 	if presized[types.ExprString(dst)] {
 		return true
 	}
-	if id, ok := ast.Unparen(dst).(*ast.Ident); ok && params[pass.Pkg.Info.Uses[id]] {
+	if id, ok := ast.Unparen(dst).(*ast.Ident); ok && params[pkg.Info.Uses[id]] {
 		return true
 	}
 	return false
@@ -284,7 +281,7 @@ func appendPreSized(pass *Pass, dst ast.Expr, presized map[string]bool, params m
 
 // checkBoxingArgs flags concrete non-pointer-shaped arguments passed to
 // interface parameters — each such call boxes the value on the heap.
-func checkBoxingArgs(pass *Pass, call *ast.CallExpr, sig *types.Signature, report func(token.Pos, string, ...any)) {
+func checkBoxingArgs(pkg *Package, call *ast.CallExpr, sig *types.Signature, report func(token.Pos, string, ...any)) {
 	np := sig.Params().Len()
 	for i, arg := range call.Args {
 		var param types.Type
@@ -303,7 +300,7 @@ func checkBoxingArgs(pass *Pass, call *ast.CallExpr, sig *types.Signature, repor
 		if !types.IsInterface(param) {
 			continue
 		}
-		tv, ok := pass.Pkg.Info.Types[arg]
+		tv, ok := pkg.Info.Types[arg]
 		if !ok || tv.IsNil() || tv.Value != nil {
 			continue
 		}
@@ -315,16 +312,16 @@ func checkBoxingArgs(pass *Pass, call *ast.CallExpr, sig *types.Signature, repor
 
 // checkInterfaceAssign flags plain assignments that box a concrete
 // value into an interface-typed variable or field.
-func checkInterfaceAssign(pass *Pass, as *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+func checkInterfaceAssign(pkg *Package, as *ast.AssignStmt, report func(token.Pos, string, ...any)) {
 	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
 		return
 	}
 	for i := range as.Lhs {
-		lt, ok := pass.Pkg.Info.Types[as.Lhs[i]]
+		lt, ok := pkg.Info.Types[as.Lhs[i]]
 		if !ok || !types.IsInterface(lt.Type) {
 			continue
 		}
-		rt, ok := pass.Pkg.Info.Types[as.Rhs[i]]
+		rt, ok := pkg.Info.Types[as.Rhs[i]]
 		if !ok || rt.IsNil() || rt.Value != nil {
 			continue
 		}
@@ -336,7 +333,7 @@ func checkInterfaceAssign(pass *Pass, as *ast.AssignStmt, report func(token.Pos,
 
 // checkInterfaceReturn flags returning a concrete value through an
 // interface result.
-func checkInterfaceReturn(pass *Pass, ret *ast.ReturnStmt, sig *types.Signature, report func(token.Pos, string, ...any)) {
+func checkInterfaceReturn(pkg *Package, ret *ast.ReturnStmt, sig *types.Signature, report func(token.Pos, string, ...any)) {
 	if sig.Results().Len() != len(ret.Results) {
 		return // bare return or single multi-value call
 	}
@@ -345,7 +342,7 @@ func checkInterfaceReturn(pass *Pass, ret *ast.ReturnStmt, sig *types.Signature,
 		if !types.IsInterface(param) {
 			continue
 		}
-		tv, ok := pass.Pkg.Info.Types[res]
+		tv, ok := pkg.Info.Types[res]
 		if !ok || tv.IsNil() || tv.Value != nil {
 			continue
 		}

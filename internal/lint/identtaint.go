@@ -1,0 +1,796 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ghrpsim/internal/lint/callgraph"
+)
+
+// identityMarker opts a function into being an identity sink: its
+// arguments become part of a content-addressed or golden-rendered
+// document, so no nondeterministic value may flow into them.
+const identityMarker = "//ghrp:identity"
+
+// IdentTaint tracks nondeterminism interprocedurally from its sources
+// to the identity sinks. The module's correctness story rests on
+// content-addressed identities being pure functions of their inputs:
+// resultcache.KeyOf hashes a submission into the cache key the daemon
+// dedups on, Merged.IdentityJSON is the canonical byte rendering the
+// distributed verifier compares against a single-process run, and the
+// golden-rendered documents are diffed byte-for-byte in CI. A
+// wall-clock stamp, a process-global random draw, a map-iteration
+// order, or a select's arrival order reaching any of those silently
+// breaks dedup and bit-identity.
+//
+// Sources are split into two lattices:
+//
+//   - value nondeterminism: time.Now/Since/Until results, math/rand
+//     global-state draws. Nothing launders these.
+//   - order nondeterminism: map range order, multi-case select arrival
+//     order. These are neutralized by re-ordering points: sorting the
+//     tainted slice (sort.*/slices.Sort*) or keyed placement
+//     (m[k] = v — the slot is named by data, not by arrival).
+//
+// Taint propagates through assignments, composites, and calls: module
+// callees by summaries computed to fixpoint over the call graph,
+// unknown callees conservatively (any tainted argument taints the
+// result). Closures are opaque (not analyzed); taint neither enters nor
+// escapes a func literal.
+//
+// Sinks: any call to a function named KeyOf or a method named
+// IdentityJSON, plus any function annotated //ghrp:identity. A tainted
+// argument (receiver included) at a sink call is reported at that call
+// site; a source-tainted return inside a sink function's own body is
+// reported at the return.
+var IdentTaint = &Analyzer{
+	Name: "identtaint",
+	Doc:  "forbid wall-clock, global-rand and iteration-order taint from reaching identity sinks (KeyOf, IdentityJSON, //ghrp:identity)",
+	Run:  runIdentTaint,
+}
+
+type taintKind uint8
+
+const (
+	taintValue taintKind = iota // wall clock, process-global rand
+	taintOrder                  // map range order, select arrival order
+)
+
+// tsource is one origin of nondeterminism, carried through the flow so
+// the report at the sink can name where the taint was born.
+type tsource struct {
+	kind taintKind
+	desc string
+	pos  token.Position
+}
+
+// taintVal is the abstract value of an expression: the set of
+// nondeterminism sources that may have flowed into it plus the bitmask
+// of enclosing-function parameters it may derive from.
+type taintVal struct {
+	sources []tsource
+	params  uint64
+}
+
+func (t taintVal) empty() bool { return len(t.sources) == 0 && t.params == 0 }
+
+func mergeTaint(a, b taintVal) taintVal {
+	out := taintVal{params: a.params | b.params}
+	seen := map[string]bool{}
+	for _, lst := range [][]tsource{a.sources, b.sources} {
+		for _, s := range lst {
+			key := s.desc + "|" + s.pos.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out.sources = append(out.sources, s)
+		}
+	}
+	return out
+}
+
+// valueOnly strips order-kind sources: the result of a re-ordering
+// point (keyed placement) still carries any value nondeterminism.
+func valueOnly(t taintVal) taintVal {
+	out := taintVal{params: t.params}
+	for _, s := range t.sources {
+		if s.kind == taintValue {
+			out.sources = append(out.sources, s)
+		}
+	}
+	return out
+}
+
+// taintSummary is one module function's interprocedural behavior.
+type taintSummary struct {
+	flows     uint64         // parameters that may flow to any result
+	resultSrc []tsource      // sources that may flow to any result
+	sinkOf    map[int]string // parameter index -> sink it reaches
+}
+
+func (s *taintSummary) equal(o *taintSummary) bool {
+	if s.flows != o.flows || len(s.resultSrc) != len(o.resultSrc) || len(s.sinkOf) != len(o.sinkOf) {
+		return false
+	}
+	for i := range s.resultSrc {
+		if s.resultSrc[i] != o.resultSrc[i] {
+			return false
+		}
+	}
+	for k, v := range s.sinkOf {
+		if s.sinkOf[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runIdentTaint(pass *Pass) {
+	sinks := map[*types.Func]string{}
+	for _, n := range pass.Graph.Nodes() {
+		fn := n.Func
+		switch {
+		case fn.Name() == "KeyOf":
+			sinks[fn] = fn.Pkg().Name() + ".KeyOf"
+		case fn.Name() == "IdentityJSON":
+			sinks[fn] = recvName(fn) + ".IdentityJSON"
+		case annotated(n.Decl, identityMarker):
+			sinks[fn] = fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+
+	sums := map[*types.Func]*taintSummary{}
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for _, n := range pass.Graph.Nodes() {
+			s := analyzeTaint(pass, n, sums, sinks, false)
+			if old := sums[n.Func]; old == nil || !old.equal(s) {
+				sums[n.Func] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range pass.Graph.Nodes() {
+		analyzeTaint(pass, n, sums, sinks, true)
+	}
+}
+
+// recvName returns the bare name of a method's receiver type.
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Pkg().Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.TypeString(rt, nil)
+}
+
+// annotated reports whether a declaration's doc comment carries the
+// given marker.
+func annotated(fd *ast.FuncDecl, marker string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if len(c.Text) >= len(marker) && c.Text[:len(marker)] == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// taintCtx is the per-function analysis state.
+type taintCtx struct {
+	pass     *Pass
+	pkg      *Package
+	node     *callgraph.Node
+	vars     map[types.Object]*taintVal
+	paramIdx map[types.Object]int
+	nparams  int
+	sums     map[*types.Func]*taintSummary
+	sinks    map[*types.Func]string
+	sum      *taintSummary
+	isSink   bool
+	report   bool
+	changed  bool
+	// sorted holds variables passed to a sort.*/slices.Sort* call
+	// anywhere in the function: order taint never sticks to them.
+	sorted map[types.Object]bool
+	// multiSelect marks receive-assignments that sit in a select with
+	// more than one communication clause: their arrival order is
+	// scheduler-chosen.
+	multiSelect map[*ast.AssignStmt]bool
+}
+
+// analyzeTaint computes one function's summary (and, when report is
+// set, emits the sink diagnostics).
+func analyzeTaint(pass *Pass, n *callgraph.Node, sums map[*types.Func]*taintSummary, sinks map[*types.Func]string, report bool) *taintSummary {
+	pkg := pass.PackageOf(n)
+	if pkg == nil {
+		return &taintSummary{sinkOf: map[int]string{}}
+	}
+	c := &taintCtx{
+		pass:        pass,
+		pkg:         pkg,
+		node:        n,
+		vars:        map[types.Object]*taintVal{},
+		paramIdx:    map[types.Object]int{},
+		sums:        sums,
+		sinks:       sinks,
+		sum:         &taintSummary{sinkOf: map[int]string{}},
+		report:      report,
+		sorted:      map[types.Object]bool{},
+		multiSelect: map[*ast.AssignStmt]bool{},
+	}
+	_, c.isSink = sinks[n.Func]
+
+	idx := 0
+	if fd := n.Decl; fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					c.paramIdx[obj] = idx
+				}
+			}
+		}
+		idx++
+	}
+	if fd := n.Decl; fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					c.paramIdx[obj] = idx
+					idx++
+				}
+			}
+			if len(f.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	c.nparams = idx
+
+	body := n.Decl.Body
+	c.prescan(body)
+	for i := 0; i < 8; i++ {
+		c.changed = false
+		c.walkStmts(body)
+		if !c.changed {
+			break
+		}
+	}
+	c.finish(body)
+	return c.sum
+}
+
+// prescan indexes the sanitized variables and the multi-case select
+// receives before propagation starts, keeping propagation monotone.
+func (c *taintCtx) prescan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.CallExpr:
+			if fn := calledFunc(c.pkg, x); fn != nil && fn.Pkg() != nil && isSortCall(fn) {
+				for _, arg := range x.Args {
+					if obj := rootVar(c.pkg, arg); obj != nil {
+						c.sorted[obj] = true
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			// Arrival order only taints the received VALUES when two or
+			// more clauses receive the same element type — then which
+			// same-shaped datum you observe first is scheduler-chosen.
+			// The ubiquitous result-or-error completion select (distinct
+			// channel types per clause) picks control flow, not data.
+			elemOf := func(cc *ast.CommClause) string {
+				as, ok := cc.Comm.(*ast.AssignStmt)
+				if !ok || len(as.Rhs) != 1 {
+					return ""
+				}
+				recv, ok := ast.Unparen(as.Rhs[0]).(*ast.UnaryExpr)
+				if !ok {
+					return ""
+				}
+				tv, ok := c.pkg.Info.Types[recv.X]
+				if !ok {
+					return ""
+				}
+				ch, ok := tv.Type.Underlying().(*types.Chan)
+				if !ok {
+					return ""
+				}
+				return types.TypeString(ch.Elem(), nil)
+			}
+			byElem := map[string]int{}
+			for _, cl := range x.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					if e := elemOf(cc); e != "" {
+						byElem[e]++
+					}
+				}
+			}
+			for _, cl := range x.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if as, ok := cc.Comm.(*ast.AssignStmt); ok && byElem[elemOf(cc)] >= 2 {
+					c.multiSelect[as] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isSortCall(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return len(fn.Name()) >= 4 && fn.Name()[:4] == "Sort"
+	}
+	return false
+}
+
+// walkStmts runs one monotone propagation pass over the body.
+func (c *taintCtx) walkStmts(body *ast.BlockStmt) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.FuncLit:
+			return false // closures are opaque
+		case *ast.AssignStmt:
+			var extra taintVal
+			if c.multiSelect[s] {
+				extra.sources = append(extra.sources, tsource{
+					kind: taintOrder,
+					desc: "select arrival order",
+					pos:  c.pkg.Fset.Position(s.Pos()),
+				})
+			}
+			if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+				t := mergeTaint(c.eval(s.Rhs[0]), extra)
+				for _, l := range s.Lhs {
+					c.assign(l, t)
+				}
+			} else if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					c.assign(s.Lhs[i], mergeTaint(c.eval(s.Rhs[i]), extra))
+				}
+			}
+		case *ast.RangeStmt:
+			xt := c.eval(s.X)
+			if tv, ok := c.pkg.Info.Types[s.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					xt = mergeTaint(xt, taintVal{sources: []tsource{{
+						kind: taintOrder,
+						desc: "map iteration order",
+						pos:  c.pkg.Fset.Position(s.Pos()),
+					}}})
+				}
+			}
+			if s.Key != nil {
+				c.assign(s.Key, xt)
+			}
+			if s.Value != nil {
+				c.assign(s.Value, xt)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						t := c.eval(vs.Values[0])
+						for _, name := range vs.Names {
+							c.assignIdent(name, t)
+						}
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							c.assignIdent(name, c.eval(vs.Values[i]))
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			// The channel's consumers see the sent value: the channel
+			// variable accumulates its taint.
+			if obj := rootVar(c.pkg, s.Chan); obj != nil {
+				c.mergeVar(obj, c.eval(s.Value))
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				t := c.eval(r)
+				if c.sum.flows|t.params != c.sum.flows {
+					c.sum.flows |= t.params
+					c.changed = true
+				}
+				for _, src := range t.sources {
+					c.addResultSrc(src)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// finish runs the sink checks: every call site once, and — for sink
+// functions — every source-tainted return.
+func (c *taintCtx) finish(body *ast.BlockStmt) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := nd.(type) {
+		case *ast.CallExpr:
+			c.checkSinkCall(s)
+		case *ast.ReturnStmt:
+			if !c.isSink {
+				return true
+			}
+			for _, r := range s.Results {
+				t := c.eval(r)
+				seen := map[string]bool{}
+				for _, src := range t.sources {
+					if !c.report || seen[src.desc] {
+						continue
+					}
+					seen[src.desc] = true
+					c.pass.Reportf(r.Pos(),
+						"%s (from %s) flows into the identity result of %s",
+						src.desc, src.pos, c.node.Func.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSinkCall inspects one call site: a direct sink call checks every
+// argument; a call to a module function whose summary routes a
+// parameter into a sink checks the corresponding arguments.
+func (c *taintCtx) checkSinkCall(call *ast.CallExpr) {
+	fn := calledFunc(c.pkg, call)
+	if fn == nil {
+		return
+	}
+	orig := fn.Origin()
+	args := c.callArgs(call, fn)
+	if sink, ok := c.sinks[orig]; ok {
+		// A method sink's receiver is the document the sink itself
+		// renders; which of its fields participate in the identity is
+		// the sink's own choice (Merged.IdentityJSON deliberately
+		// omits its wall-time stats), and this analysis is not
+		// field-sensitive. The non-receiver arguments and the flows
+		// inside the sink's body are checked instead.
+		start := 0
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			start = 1
+		}
+		for _, a := range args[start:] {
+			c.sinkArg(a, sink, "")
+		}
+		return
+	}
+	sum := c.sums[orig]
+	if sum == nil || len(sum.sinkOf) == 0 {
+		return
+	}
+	for i, a := range args {
+		idx := i
+		if nn := c.calleeParamCount(fn); nn > 0 && idx >= nn {
+			idx = nn - 1 // variadic tail
+		}
+		if sink, ok := sum.sinkOf[idx]; ok {
+			c.sinkArg(a, sink, fn.Name())
+		}
+	}
+}
+
+func (c *taintCtx) calleeParamCount(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	return n
+}
+
+// sinkArg processes one expression feeding a sink: source taint is
+// reported, parameter taint extends the enclosing function's summary.
+func (c *taintCtx) sinkArg(arg ast.Expr, sink, via string) {
+	t := c.eval(arg)
+	seen := map[string]bool{}
+	for _, src := range t.sources {
+		if !c.report || seen[src.desc] {
+			continue
+		}
+		seen[src.desc] = true
+		if via != "" {
+			c.pass.Reportf(arg.Pos(), "%s (from %s) flows into identity sink %s via %s",
+				src.desc, src.pos, sink, via)
+		} else {
+			c.pass.Reportf(arg.Pos(), "%s (from %s) flows into identity sink %s",
+				src.desc, src.pos, sink)
+		}
+	}
+	for i := 0; i < c.nparams && i < 64; i++ {
+		if t.params&(1<<uint(i)) == 0 {
+			continue
+		}
+		if _, ok := c.sum.sinkOf[i]; !ok {
+			c.sum.sinkOf[i] = sink
+			c.changed = true
+		}
+	}
+}
+
+// callArgs returns a call's effective arguments, receiver first for
+// method calls, matching the parameter indexing of summaries.
+func (c *taintCtx) callArgs(call *ast.CallExpr, fn *types.Func) []ast.Expr {
+	sig, _ := fn.Type().(*types.Signature)
+	var args []ast.Expr
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			args = append(args, sel.X)
+		}
+	}
+	return append(args, call.Args...)
+}
+
+func (c *taintCtx) addResultSrc(src tsource) {
+	for _, s := range c.sum.resultSrc {
+		if s == src {
+			return
+		}
+	}
+	c.sum.resultSrc = append(c.sum.resultSrc, src)
+	c.changed = true
+}
+
+// assign merges t into the storage location named by lhs. Keyed
+// placement (m[k] = v) is a re-ordering point: only value taint
+// reaches the container.
+func (c *taintCtx) assign(lhs ast.Expr, t taintVal) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		c.assignIdent(l, t)
+	case *ast.IndexExpr:
+		t = mergeTaint(t, c.eval(l.Index))
+		if obj := rootVar(c.pkg, l.X); obj != nil {
+			c.mergeVar(obj, valueOnly(t))
+		}
+	case *ast.SelectorExpr, *ast.StarExpr:
+		if obj := rootVar(c.pkg, l); obj != nil {
+			c.mergeVar(obj, t)
+		}
+	}
+}
+
+func (c *taintCtx) assignIdent(id *ast.Ident, t taintVal) {
+	if id.Name == "_" {
+		return
+	}
+	obj := c.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = c.pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	c.mergeVar(obj, t)
+}
+
+func (c *taintCtx) mergeVar(obj types.Object, t taintVal) {
+	if _, isParam := c.paramIdx[obj]; isParam {
+		// Parameters keep their identity bit; extra taint on them is
+		// tracked like any local.
+	}
+	if c.sorted[obj] {
+		t = valueOnly(t)
+	}
+	cur := c.vars[obj]
+	if cur == nil {
+		if t.empty() {
+			return
+		}
+		nv := t
+		c.vars[obj] = &nv
+		c.changed = true
+		return
+	}
+	merged := mergeTaint(*cur, t)
+	if merged.params != cur.params || len(merged.sources) != len(cur.sources) {
+		*cur = merged
+		c.changed = true
+	}
+}
+
+// rootVar chases x.f[i].g style expressions to their base variable.
+func rootVar(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			if pkg.Info.Selections[x] == nil {
+				return nil // package-qualified name
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// eval computes the abstract taint of an expression.
+func (c *taintCtx) eval(e ast.Expr) taintVal {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = c.pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return taintVal{}
+		}
+		var t taintVal
+		if i, ok := c.paramIdx[obj]; ok && i < 64 {
+			t.params = 1 << uint(i)
+		}
+		if v := c.vars[obj]; v != nil {
+			t = mergeTaint(t, *v)
+		}
+		return t
+	case *ast.SelectorExpr:
+		if c.pkg.Info.Selections[x] == nil {
+			return taintVal{} // package-qualified name
+		}
+		return c.eval(x.X)
+	case *ast.CallExpr:
+		return c.evalCall(x)
+	case *ast.BinaryExpr:
+		return mergeTaint(c.eval(x.X), c.eval(x.Y))
+	case *ast.UnaryExpr:
+		return c.eval(x.X) // includes <-ch: single receive has no choice
+	case *ast.StarExpr:
+		return c.eval(x.X)
+	case *ast.IndexExpr:
+		if _, ok := c.pkg.Info.Instances[calleeIdentExpr(x.X)]; ok {
+			return taintVal{} // generic instantiation, not an index
+		}
+		return mergeTaint(c.eval(x.X), c.eval(x.Index))
+	case *ast.IndexListExpr:
+		return c.eval(x.X)
+	case *ast.SliceExpr:
+		return c.eval(x.X)
+	case *ast.TypeAssertExpr:
+		return c.eval(x.X)
+	case *ast.CompositeLit:
+		var t taintVal
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = mergeTaint(t, c.eval(kv.Value))
+				continue
+			}
+			t = mergeTaint(t, c.eval(el))
+		}
+		return t
+	}
+	return taintVal{}
+}
+
+func (c *taintCtx) evalCall(call *ast.CallExpr) taintVal {
+	info := c.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return c.eval(call.Args[0]) // conversion
+		}
+		return taintVal{}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new", "len", "cap":
+				return taintVal{}
+			default:
+				var t taintVal
+				for _, a := range call.Args {
+					t = mergeTaint(t, c.eval(a))
+				}
+				return t
+			}
+		}
+	}
+	fn := calledFunc(c.pkg, call)
+	if fn != nil {
+		if src := taintSourceOf(fn); src != "" {
+			return taintVal{sources: []tsource{{
+				kind: taintValue,
+				desc: src,
+				pos:  c.pkg.Fset.Position(call.Pos()),
+			}}}
+		}
+		if sum := c.sums[fn.Origin()]; sum != nil {
+			args := c.callArgs(call, fn)
+			out := taintVal{}
+			out.sources = append(out.sources, sum.resultSrc...)
+			npar := c.calleeParamCount(fn)
+			for i, a := range args {
+				idx := i
+				if npar > 0 && idx >= npar {
+					idx = npar - 1
+				}
+				if idx < 64 && sum.flows&(1<<uint(idx)) != 0 {
+					out = mergeTaint(out, c.eval(a))
+				}
+			}
+			return out
+		}
+		if isSortCall(fn) {
+			return taintVal{} // sanitizer
+		}
+	}
+	// Unknown callee (standard library, function value): conservatively
+	// assume every argument and the receiver flow to the result.
+	var t taintVal
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && info.Selections[sel] != nil {
+		t = mergeTaint(t, c.eval(sel.X))
+	}
+	for _, a := range call.Args {
+		t = mergeTaint(t, c.eval(a))
+	}
+	return t
+}
+
+// taintSourceOf classifies a callee as a value-nondeterminism source.
+func taintSourceOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "wall-clock value from time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalStateSafeRand[fn.Name()] {
+			return "process-global randomness from " + fn.Pkg().Path() + "." + fn.Name()
+		}
+	}
+	return ""
+}

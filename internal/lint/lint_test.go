@@ -3,10 +3,13 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // fixtureDirs lists every fixture package; they are loaded once, in one
@@ -19,7 +22,14 @@ var fixtureDirs = []string{
 	"./testdata/src/maprange_det",
 	"./testdata/src/maprange_render",
 	"./testdata/src/hotalloc",
+	"./testdata/src/hotalloc_deep",
+	"./testdata/src/hotalloc_generic",
+	"./testdata/src/identtaint",
+	"./testdata/src/goroleak",
+	"./testdata/src/ctxflow",
+	"./testdata/src/lockblock",
 	"./testdata/src/suppress",
+	"./testdata/src/stale",
 }
 
 var (
@@ -117,6 +127,62 @@ func TestDetRandFixture(t *testing.T)        { checkFixture(t, "randglobal") }
 func TestMapRangeDeterministic(t *testing.T) { checkFixture(t, "maprange_det") }
 func TestMapRangeRenderers(t *testing.T)     { checkFixture(t, "maprange_render") }
 func TestHotAllocFixture(t *testing.T)       { checkFixture(t, "hotalloc") }
+func TestHotAllocDeepChains(t *testing.T)    { checkFixture(t, "hotalloc_deep") }
+func TestHotAllocGenerics(t *testing.T)      { checkFixture(t, "hotalloc_generic") }
+func TestIdentTaintFixture(t *testing.T)     { checkFixture(t, "identtaint") }
+func TestGoroLeakFixture(t *testing.T)       { checkFixture(t, "goroleak") }
+func TestCtxFlowFixture(t *testing.T)        { checkFixture(t, "ctxflow") }
+func TestLockBlockFixture(t *testing.T)      { checkFixture(t, "lockblock") }
+
+// TestStaleDirective asserts suppression hygiene both ways: the
+// directive that still suppresses a diagnostic stays silent, the one
+// whose diagnostic was fixed out from under it is itself reported. (A
+// want comment cannot share a line with the directive comment, so this
+// fixture is checked directly rather than through checkFixture.)
+func TestStaleDirective(t *testing.T) {
+	pkg := fixturePackage(t, "stale")
+	diags := Run([]*Package{pkg}, All())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the stale-directive report:\n%s",
+			len(diags), renderDiags(diags))
+	}
+	d := diags[0]
+	if d.Analyzer != "driver" {
+		t.Errorf("stale report should come from the driver, got %s", d)
+	}
+	want := "stale //ghrplint:ignore directive: no detwallclock diagnostic fires here anymore; delete it"
+	if d.Message != want {
+		t.Errorf("stale report message:\n got %q\nwant %q", d.Message, want)
+	}
+	goneLine := fixtureLine(t, pkg, "func Gone")
+	if d.Pos.Line <= goneLine {
+		t.Errorf("stale report should point at the directive inside Gone (after line %d): %s", goneLine, d)
+	}
+}
+
+// TestStaleDirectiveScoping asserts a directive is only judged stale
+// when its analyzer actually ran: a detwallclock-only ignore must not
+// be reported by a hotalloc-only run.
+func TestStaleDirectiveScoping(t *testing.T) {
+	pkg := fixturePackage(t, "stale")
+	if diags := Run([]*Package{pkg}, []*Analyzer{HotAlloc}); len(diags) != 0 {
+		t.Errorf("hotalloc-only run should not judge detwallclock directives:\n%s", renderDiags(diags))
+	}
+}
+
+// TestSelect pins the -analyzers selection semantics.
+func TestSelect(t *testing.T) {
+	got, err := Select("detwallclock, hotalloc")
+	if err != nil || len(got) != 2 || got[0] != DetWallClock || got[1] != HotAlloc {
+		t.Errorf("Select(detwallclock, hotalloc) = %v, %v", got, err)
+	}
+	if _, err := Select("nosuch"); err == nil {
+		t.Error("Select(nosuch) should fail")
+	}
+	if _, err := Select(" , "); err == nil {
+		t.Error("Select of an empty list should fail")
+	}
+}
 
 // TestSuppressionDirectives asserts the three directive outcomes: a
 // reasoned suppression silences its diagnostic, a reasonless directive
@@ -207,6 +273,7 @@ func TestDiagnosticFormat(t *testing.T) {
 // diagnostics. Running from the module root also proves Load handles
 // the full package graph, annotations and in-tree suppressions.
 func TestRepoClean(t *testing.T) {
+	start := time.Now()
 	pkgs, err := Load("../..", "./...")
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
@@ -216,5 +283,60 @@ func TestRepoClean(t *testing.T) {
 	}
 	if diags := Run(pkgs, All()); len(diags) != 0 {
 		t.Errorf("repository is not lint-clean:\n%s", renderDiags(diags))
+	}
+	// The lint runtime budget: make ci runs the whole suite on every
+	// change, so load + call graph + all analyzers must stay cheap.
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Errorf("lint suite took %v over the whole module; budget is 60s", elapsed)
+	}
+}
+
+// TestBaselineRoundTrip pins the baseline file format and the
+// new-vs-accepted split the CI gate performs.
+func TestBaselineRoundTrip(t *testing.T) {
+	pkg := fixturePackage(t, "wallclock")
+	diags := Run([]*Package{pkg}, []*Analyzer{DetWallClock})
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics from the wallclock fixture")
+	}
+	root := ""
+	var buf strings.Builder
+	if err := WriteBaseline(&buf, root, diags); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("reading baseline back: %v", err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("round-tripped baseline is empty")
+	}
+	fresh, stale := ApplyBaseline(root, diags, baseline)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("diags against their own baseline: %d fresh, %d stale; want 0, 0", len(fresh), len(stale))
+	}
+	// A finding not in the baseline is fresh; a baseline entry nothing
+	// matches is stale.
+	extra := Diagnostic{Analyzer: "detwallclock", Message: "synthetic finding"}
+	extra.Pos.Filename = "synthetic.go"
+	fresh, stale = ApplyBaseline(root, append(append([]Diagnostic{}, diags...), extra), baseline)
+	if len(fresh) != 1 || fresh[0].Message != "synthetic finding" {
+		t.Errorf("fresh findings = %v, want just the synthetic one", fresh)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale entries = %v, want none", stale)
+	}
+	fresh, stale = ApplyBaseline(root, nil, map[string]bool{"gone.go: [detrand] fixed long ago": true})
+	if len(fresh) != 0 || len(stale) != 1 {
+		t.Errorf("empty run against a stale baseline: %d fresh, %d stale; want 0, 1", len(fresh), len(stale))
+	}
+	// A missing baseline file reads as empty, not as an error.
+	empty, err := ReadBaseline(filepath.Join(t.TempDir(), "absent"))
+	if err != nil || len(empty) != 0 {
+		t.Errorf("missing baseline: got %v, %v; want empty, nil", empty, err)
 	}
 }

@@ -137,6 +137,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 				Defs:       map[*ast.Ident]types.Object{},
 				Uses:       map[*ast.Ident]types.Object{},
 				Selections: map[*ast.SelectorExpr]*types.Selection{},
+				// Instances feed the call graph's generic-specialization
+				// resolution (cache.AccessWith and friends).
+				Instances: map[*ast.Ident]types.Instance{},
 			}
 		}
 		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)

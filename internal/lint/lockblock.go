@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockBlock flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held in the concurrency packages. The obs.Hub
+// subscriber fan-out and the serve run store serialize every reader
+// behind one mutex; a channel send, an SSE write to a slow client, a
+// sleep or an HTTP round-trip inside such a critical section turns one
+// stalled peer into a stall of every goroutine that touches the lock.
+//
+// Regions are tracked syntactically within each statement list: an
+// ExprStmt `mu.Lock()` / `mu.RLock()` opens a region that runs to the
+// matching same-expression Unlock at the same nesting level, or to the
+// end of the list (the defer-unlock shape). Within a region the
+// analyzer reports channel sends and receives outside a select with a
+// default, selects without a default, the blocking external calls
+// classified by blockingCall (sleeps, network round-trips, SSE
+// writes/flushes, WaitGroup waits, subprocess waits), and static calls
+// to module functions whose summary says they may block.
+// sync.Cond.Wait is exempt (it releases the mutex while parked), and
+// function literals are skipped: they usually run after the critical
+// section.
+var LockBlock = &Analyzer{
+	Name: "lockblock",
+	Doc:  "flag channel ops, sleeps and network I/O performed while holding a mutex in serve/dist/obs",
+	Run:  runLockBlock,
+}
+
+func runLockBlock(pass *Pass) {
+	mayBlock := blockSummaries(pass, blockingCall, true)
+	for _, n := range pass.Graph.Nodes() {
+		pkg := pass.PackageOf(n)
+		if pkg == nil || !concurrent(pkg) {
+			continue
+		}
+		lb := &lockScanner{pass: pass, pkg: pkg, mayBlock: mayBlock}
+		lb.scanBlock(n.Decl.Body.List, "")
+	}
+}
+
+type lockScanner struct {
+	pass     *Pass
+	pkg      *Package
+	mayBlock map[*types.Func]string
+}
+
+// scanBlock walks one statement list. held is the expression string of
+// the mutex currently locked ("" when none); lock statements inside the
+// list update it for the statements that follow.
+func (lb *lockScanner) scanBlock(list []ast.Stmt, held string) {
+	for i, s := range list {
+		if mu, op := lockCall(lb.pkg, s); mu != "" {
+			switch op {
+			case "Lock", "RLock":
+				inner := held
+				if inner == "" {
+					inner = mu
+				}
+				end := len(list)
+				for j := i + 1; j < len(list); j++ {
+					if mu2, op2 := lockCall(lb.pkg, list[j]); mu2 == mu && (op2 == "Unlock" || op2 == "RUnlock") {
+						end = j
+						break
+					}
+				}
+				lb.scanBlock(list[i+1:end], inner)
+				if end < len(list) {
+					lb.scanBlock(list[end+1:], held)
+				}
+				return
+			}
+			continue
+		}
+		if held != "" {
+			lb.checkStmt(s, held)
+		}
+		lb.descend(s, held)
+	}
+}
+
+// lockCall matches `mu.Lock()` / `mu.Unlock()` (and R variants) on a
+// sync mutex, as a bare expression statement or a defer. A deferred
+// unlock does not close the region — the lock is held to function exit.
+func lockCall(pkg *Package, s ast.Stmt) (mu, op string) {
+	var call *ast.CallExpr
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		call, _ = st.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the region open; report it as a lock
+		// op so the scanner does not treat it as a blocking statement,
+		// but never as a region close.
+		if fn := calledFunc(pkg, st.Call); fn != nil && isMutexMethod(fn) {
+			if sel, ok := ast.Unparen(st.Call.Fun).(*ast.SelectorExpr); ok {
+				return types.ExprString(sel.X), "defer-" + fn.Name()
+			}
+		}
+		return "", ""
+	default:
+		return "", ""
+	}
+	if call == nil {
+		return "", ""
+	}
+	fn := calledFunc(pkg, call)
+	if fn == nil || !isMutexMethod(fn) {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return types.ExprString(sel.X), fn.Name()
+}
+
+func isMutexMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// descend recurses into compound statements, keeping the held-region
+// state. Nested blocks get their own lock tracking on top of held.
+func (lb *lockScanner) descend(s ast.Stmt, held string) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		lb.scanBlock(st.List, held)
+	case *ast.IfStmt:
+		lb.scanBlock(st.Body.List, held)
+		if st.Else != nil {
+			lb.descend(st.Else, held)
+		}
+	case *ast.ForStmt:
+		lb.scanBlock(st.Body.List, held)
+	case *ast.RangeStmt:
+		lb.scanBlock(st.Body.List, held)
+	case *ast.SwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				lb.scanBlock(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				lb.scanBlock(cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				lb.scanBlock(cc.Body, held)
+			}
+		}
+	case *ast.LabeledStmt:
+		lb.descend(st.Stmt, held)
+	}
+}
+
+// checkStmt reports blocking operations in one statement (not recursing
+// into compound bodies — descend handles those with region tracking).
+func (lb *lockScanner) checkStmt(s ast.Stmt, held string) {
+	switch st := s.(type) {
+	case *ast.SendStmt:
+		lb.report(st.Arrow, held, "a channel send")
+		return
+	case *ast.SelectStmt:
+		if !hasDefaultClause(st) {
+			lb.report(st.Select, held, "a select with no default")
+		}
+		return
+	case *ast.GoStmt, *ast.DeferStmt:
+		return // runs elsewhere / later
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.LabeledStmt:
+		// Headers only; bodies are walked by descend. Check init/cond
+		// expressions for calls and receives below via shallowExprs.
+	}
+	for _, e := range shallowExprs(s) {
+		lb.checkExpr(e, held)
+	}
+}
+
+// shallowExprs returns the expressions evaluated by the statement
+// itself (assignment RHS, call, condition), not those in nested bodies.
+func shallowExprs(s ast.Stmt) []ast.Expr {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{st.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, st.Rhs...), st.Lhs...)
+	case *ast.ReturnStmt:
+		return st.Results
+	case *ast.IfStmt:
+		return []ast.Expr{st.Cond}
+	case *ast.ForStmt:
+		if st.Cond != nil {
+			return []ast.Expr{st.Cond}
+		}
+	case *ast.RangeStmt:
+		return []ast.Expr{st.X}
+	case *ast.SwitchStmt:
+		if st.Tag != nil {
+			return []ast.Expr{st.Tag}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			var out []ast.Expr
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// checkExpr reports blocking calls and receives within one expression
+// tree (function literals excluded).
+func (lb *lockScanner) checkExpr(e ast.Expr, held string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" && isChanType(lb.pkg, x.X) {
+				lb.report(x.OpPos, held, "a channel receive")
+			}
+		case *ast.CallExpr:
+			fn := calledFunc(lb.pkg, x)
+			if fn == nil {
+				return true
+			}
+			if r := blockingCall(fn); r != "" {
+				lb.report(x.Pos(), held, r)
+				return true
+			}
+			if cn := lb.pass.Graph.Node(fn); cn != nil {
+				if r, ok := lb.mayBlock[cn.Func]; ok {
+					lb.report(x.Pos(), held, cn.Name()+", which reaches "+rootBlockReason(r))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (lb *lockScanner) report(pos token.Pos, held, what string) {
+	lb.pass.Reportf(pos,
+		"%s while holding %s stalls every other acquirer; release the lock (or snapshot under it) before blocking",
+		what, held)
+}

@@ -27,36 +27,38 @@ var MapRange = &Analyzer{
 	Name: "maprange",
 	Doc:  "flag nondeterministic map iteration in deterministic packages and renderers",
 	Run: func(pass *Pass) {
-		det := deterministic(pass.Pkg)
-		for _, f := range pass.Pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
+		for _, pkg := range pass.Pkgs {
+			det := deterministic(pkg)
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if !det && !rendersOutput(pkg, fd) {
+						continue
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						rs, ok := n.(*ast.RangeStmt)
+						if !ok {
+							return true
+						}
+						tv, ok := pkg.Info.Types[rs.X]
+						if !ok {
+							return true
+						}
+						if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+							return true
+						}
+						if orderInsensitiveBlock(pkg, rs.Body) {
+							return true
+						}
+						pass.Reportf(rs.For,
+							"range over map %s has nondeterministic order; sort the keys first or annotate the loop //ghrplint:commutative <why>",
+							types.ExprString(rs.X))
+						return true
+					})
 				}
-				if !det && !rendersOutput(pass, fd) {
-					continue
-				}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					rs, ok := n.(*ast.RangeStmt)
-					if !ok {
-						return true
-					}
-					tv, ok := pass.Pkg.Info.Types[rs.X]
-					if !ok {
-						return true
-					}
-					if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-						return true
-					}
-					if orderInsensitiveBlock(pass, rs.Body) {
-						return true
-					}
-					pass.Reportf(rs.For,
-						"range over map %s has nondeterministic order; sort the keys first or annotate the loop //ghrplint:commutative <why>",
-						types.ExprString(rs.X))
-					return true
-				})
 			}
 		}
 	},
@@ -65,8 +67,8 @@ var MapRange = &Analyzer{
 // rendersOutput reports whether fn produces ordered output: it returns
 // a string, touches an io.Writer / strings.Builder / bytes.Buffer, or
 // calls a fmt printing function.
-func rendersOutput(pass *Pass, fd *ast.FuncDecl) bool {
-	if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+func rendersOutput(pkg *Package, fd *ast.FuncDecl) bool {
+	if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
 		sig := obj.Type().(*types.Signature)
 		for i := 0; i < sig.Results().Len(); i++ {
 			if isString(sig.Results().At(i).Type()) {
@@ -81,11 +83,11 @@ func rendersOutput(pass *Pass, fd *ast.FuncDecl) bool {
 		}
 		switch e := n.(type) {
 		case *ast.Ident, *ast.SelectorExpr:
-			if tv, ok := pass.Pkg.Info.Types[e.(ast.Expr)]; ok && isRenderSink(tv.Type) {
+			if tv, ok := pkg.Info.Types[e.(ast.Expr)]; ok && isRenderSink(tv.Type) {
 				renders = true
 			}
 		case *ast.CallExpr:
-			if fn := calledFunc(pass, e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			if fn := calledFunc(pkg, e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
 				name := fn.Name()
 				if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
 					strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Append") {
@@ -100,18 +102,38 @@ func rendersOutput(pass *Pass, fd *ast.FuncDecl) bool {
 
 // calledFunc resolves a call's static callee, or nil for builtins,
 // conversions and indirect calls through function values.
-func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+func calledFunc(pkg *Package, call *ast.CallExpr) *types.Func {
 	var obj types.Object
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		obj = pass.Pkg.Info.Uses[fun]
+		obj = pkg.Info.Uses[fun]
 	case *ast.SelectorExpr:
-		obj = pass.Pkg.Info.Uses[fun.Sel]
+		obj = pkg.Info.Uses[fun.Sel]
+	case *ast.IndexExpr:
+		if id := calleeIdentExpr(fun.X); id != nil {
+			obj = pkg.Info.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id := calleeIdentExpr(fun.X); id != nil {
+			obj = pkg.Info.Uses[id]
+		}
 	default:
 		return nil
 	}
 	fn, _ := obj.(*types.Func)
 	return fn
+}
+
+// calleeIdentExpr unwraps an explicitly instantiated callee (f[T]) to
+// the identifier naming it.
+func calleeIdentExpr(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
 }
 
 func isString(t types.Type) bool {
@@ -139,16 +161,16 @@ func isRenderSink(t types.Type) bool {
 
 // orderInsensitiveBlock reports whether every statement in the block is
 // one whose cumulative effect does not depend on iteration order.
-func orderInsensitiveBlock(pass *Pass, b *ast.BlockStmt) bool {
+func orderInsensitiveBlock(pkg *Package, b *ast.BlockStmt) bool {
 	for _, s := range b.List {
-		if !orderInsensitiveStmt(pass, s) {
+		if !orderInsensitiveStmt(pkg, s) {
 			return false
 		}
 	}
 	return true
 }
 
-func orderInsensitiveStmt(pass *Pass, s ast.Stmt) bool {
+func orderInsensitiveStmt(pkg *Package, s ast.Stmt) bool {
 	switch s := s.(type) {
 	case *ast.AssignStmt:
 		switch s.Tok {
@@ -162,7 +184,7 @@ func orderInsensitiveStmt(pass *Pass, s ast.Stmt) bool {
 				return false
 			}
 			// keys = append(keys, ...): the collect-then-sort prelude.
-			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pkg, call, "append") {
 				if len(call.Args) > 0 && types.ExprString(call.Args[0]) == types.ExprString(s.Lhs[0]) {
 					return true
 				}
@@ -178,20 +200,20 @@ func orderInsensitiveStmt(pass *Pass, s ast.Stmt) bool {
 		return true
 	case *ast.ExprStmt:
 		call, ok := s.X.(*ast.CallExpr)
-		return ok && isBuiltin(pass, call, "delete")
+		return ok && isBuiltin(pkg, call, "delete")
 	case *ast.IfStmt:
-		if s.Init != nil && !orderInsensitiveStmt(pass, s.Init) {
+		if s.Init != nil && !orderInsensitiveStmt(pkg, s.Init) {
 			return false
 		}
-		if !orderInsensitiveBlock(pass, s.Body) {
+		if !orderInsensitiveBlock(pkg, s.Body) {
 			return false
 		}
 		if s.Else != nil {
-			return orderInsensitiveStmt(pass, s.Else)
+			return orderInsensitiveStmt(pkg, s.Else)
 		}
 		return true
 	case *ast.BlockStmt:
-		return orderInsensitiveBlock(pass, s)
+		return orderInsensitiveBlock(pkg, s)
 	case *ast.BranchStmt:
 		return s.Tok == token.CONTINUE
 	}
@@ -199,11 +221,11 @@ func orderInsensitiveStmt(pass *Pass, s ast.Stmt) bool {
 }
 
 // isBuiltin reports whether call invokes the named predeclared builtin.
-func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+func isBuiltin(pkg *Package, call *ast.CallExpr, name string) bool {
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	_, ok = pass.Pkg.Info.Uses[id].(*types.Builtin)
+	_, ok = pkg.Info.Uses[id].(*types.Builtin)
 	return ok
 }

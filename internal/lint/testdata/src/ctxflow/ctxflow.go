@@ -1,0 +1,73 @@
+// Package serve (a fixture stand-in — ctxflow is scoped to the
+// serve/dist/obs package names) exercises the context-propagation rule:
+// blocking network calls must have a cancellation signal in scope.
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// FetchNoCtx blocks on the network with nothing to cancel it.
+func FetchNoCtx(url string) error {
+	resp, err := http.Get(url) // want `http\.Get blocks on the network with no context\.Context in scope in FetchNoCtx; plumb a ctx parameter so the call can be cancelled`
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// FetchCtx threads a context through the request: legal.
+func FetchCtx(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Handler has the request's context one call away: *http.Request in
+// scope satisfies the rule.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.Get("http://127.0.0.1:0/upstream")
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+	_ = w
+}
+
+// DialNoCtx hits the raw-dial classification.
+func DialNoCtx(addr string) error {
+	c, err := net.Dial("tcp", addr) // want `net\.Dial blocks on the network with no context\.Context in scope in DialNoCtx; plumb a ctx parameter so the call can be cancelled`
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// StoredCtx uses a context kept on the struct: any context-typed
+// expression in the body counts as a signal in scope.
+type client struct {
+	base context.Context
+	hc   *http.Client
+}
+
+func (c *client) poke(url string) error {
+	req, err := http.NewRequestWithContext(c.base, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

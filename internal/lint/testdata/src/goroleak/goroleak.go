@@ -1,0 +1,94 @@
+// Package dist (a fixture stand-in — goroleak is scoped to the
+// serve/dist/obs package names) exercises the goroutine-leak rules:
+// unconditional loops with no exit path, and bare sends on visibly
+// unbuffered channels that park the losing goroutine forever.
+package dist
+
+import "context"
+
+func work()        {}
+func compute() int { return 1 }
+
+// Spin launches the classic leak: an unconditional loop with no
+// return, break or goto.
+func Spin() {
+	go func() {
+		for { // want `goroutine's unconditional for loop has no return, break or goto: it can never exit; add a ctx\.Done\(\)/closed-channel case that returns`
+			work()
+		}
+	}()
+}
+
+// PumpForever leaks through a statically called method: the go
+// statement's target body is resolved through the call graph.
+type worker struct{ jobs chan int }
+
+func (w *worker) pump() {
+	for { // want `goroutine's unconditional for loop has no return, break or goto: it can never exit; add a ctx\.Done\(\)/closed-channel case that returns`
+		<-w.jobs
+	}
+}
+
+func (w *worker) Start() {
+	go w.pump()
+}
+
+// LoopWithExit selects on a done channel and returns: legal.
+func LoopWithExit(done <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+// LoopWithBreak exits through an unlabeled break at loop level: legal.
+func LoopWithBreak(stop func() bool) {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+			work()
+		}
+	}()
+}
+
+// HedgeLoser is the hedged-request trap: the result channel is
+// unbuffered, so whichever branch loses the race parks forever on its
+// send once the winner's value has been consumed.
+func HedgeLoser() int {
+	res := make(chan int)
+	go func() {
+		res <- compute() // want `goroutine sends on unbuffered channel res outside a select: if the receiver is gone the send parks this goroutine forever`
+	}()
+	go func() {
+		res <- compute() // want `goroutine sends on unbuffered channel res outside a select: if the receiver is gone the send parks this goroutine forever`
+	}()
+	return <-res
+}
+
+// HedgeBuffered gives every sender a slot: both branches retire.
+func HedgeBuffered() int {
+	res := make(chan int, 2)
+	go func() { res <- compute() }()
+	go func() { res <- compute() }()
+	return <-res
+}
+
+// HedgeSelect lets the loser take the cancellation branch: legal.
+func HedgeSelect(ctx context.Context) int {
+	res := make(chan int)
+	go func() {
+		select {
+		case res <- compute():
+		case <-ctx.Done():
+		}
+	}()
+	return <-res
+}

@@ -31,10 +31,10 @@ func (r *ring) helper(k uint64) {
 	r.deep(k)
 }
 
-// deep is two calls away from any annotation: the one-level rule stops
-// before it, so its allocation is not reported.
+// deep is two calls away from the annotation: transitive propagation
+// reaches it through Step -> helper and says so in the diagnostic.
 func (r *ring) deep(k uint64) {
-	p := new(item)
+	p := new(item) // want `new allocates; hoist the value out of the hot path \(on the //ghrp:hotpath path via Step -> helper\)`
 	p.k = k
 }
 

@@ -1,0 +1,47 @@
+// Package hotdeep exercises hotalloc's transitive propagation: a
+// three-deep static chain reports with its discovery path, and an
+// //ghrplint:ignore on a call site prunes the edge so a cold error path
+// is not dragged onto the hot path (and the directive counts as used,
+// not stale).
+package hotdeep
+
+import "fmt"
+
+type state struct {
+	buf []uint64
+	n   int
+}
+
+//ghrp:hotpath
+func Root(s *state, k uint64) {
+	level1(s, k)
+}
+
+func level1(s *state, k uint64) {
+	level2(s, k)
+	s.n++
+}
+
+func level2(s *state, k uint64) {
+	s.buf = append(s.buf, k) // want `append may grow its backing array; reuse a pre-sized buffer \(x = x\[:0\]\) instead \(on the //ghrp:hotpath path via Root -> level1\)`
+}
+
+//ghrp:hotpath
+func Guarded(s *state, k uint64) {
+	if s.n < 0 {
+		coldFail(k) //ghrplint:ignore hotalloc corrupt-state panic path; never taken in steady state
+	}
+	s.n++
+}
+
+// coldFail allocates freely: the only edge into it from hot code is
+// suppressed above, so nothing here is reported.
+func coldFail(k uint64) {
+	msg := fmt.Sprintf("hotdeep: corrupt state at key %d", k)
+	panic(msg)
+}
+
+// NotReached allocates but no annotated function can reach it.
+func NotReached() []uint64 {
+	return make([]uint64, 8)
+}

@@ -1,0 +1,58 @@
+// Package hotgen is the regression fixture for hotalloc's old generic
+// blind spot: a method call on a type-parameter receiver inside an
+// annotated generic wrapper (the cache.AccessWith / btb.AccessWith
+// shape) used to resolve to nothing, so allocations in the concrete
+// policy methods went unreported. The call graph now resolves such a
+// site once per concrete instantiation discovered anywhere in the
+// module, so srrip.Touch below is on the hot path and clean.Touch is
+// checked too (and is clean).
+package hotgen
+
+type policy interface{ Touch(i int) }
+
+// srrip's Touch allocates. It is never called directly from annotated
+// code — only through the generic AccessWith — so the one-level rule
+// could not see it.
+type srrip struct{ ages []uint8 }
+
+func (s *srrip) Touch(i int) {
+	s.ages = append(s.ages, uint8(i)) // want `append may grow its backing array; reuse a pre-sized buffer \(x = x\[:0\]\) instead \(on the //ghrp:hotpath path via AccessWith\)`
+}
+
+// clean's Touch mutates in place: reached through the same generic
+// site, no diagnostics.
+type clean struct{ n int }
+
+func (c *clean) Touch(i int) { c.n += i }
+
+// AccessWith is the annotated generic wrapper: the p.Touch call is a
+// method call on a type-parameter receiver.
+//
+//ghrp:hotpath
+func AccessWith[P policy](p P, i int) {
+	p.Touch(i)
+}
+
+// drive instantiates AccessWith with both concrete policies; the
+// instantiations are what the call graph resolves the p.Touch site
+// against.
+func drive() {
+	AccessWith(&srrip{}, 1)
+	AccessWith(&clean{}, 2)
+}
+
+// fifo is only ever instantiated through the nested generic below —
+// its Touch is reachable solely via the substitution fixpoint.
+type fifo struct{ q []uint64 }
+
+func (f *fifo) Touch(i int) {
+	f.q = append(f.q, uint64(i)) // want `append may grow its backing array; reuse a pre-sized buffer \(x = x\[:0\]\) instead \(on the //ghrp:hotpath path via AccessWith\)`
+}
+
+// outer proves the substitution fixpoint: it forwards its own type
+// parameter to AccessWith, so the concrete tuple discovered at drive2's
+// call site must flow through outer into AccessWith before the p.Touch
+// site can resolve to fifo.Touch.
+func outer[P policy](p P) { AccessWith(p, 3) }
+
+func drive2() { outer(&fifo{}) }

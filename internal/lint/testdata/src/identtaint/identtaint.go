@@ -1,0 +1,133 @@
+// Package identfix exercises the identity-taint analyzer: wall-clock
+// values, process-global randomness, map iteration order and select
+// arrival order must not flow into the identity sinks (KeyOf,
+// IdentityJSON, //ghrp:identity functions). Sanitizers — sorting and
+// keyed placement — clear order taint but never value taint, and a
+// reasoned //ghrplint:ignore silences an accepted flow.
+package identfix
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// KeyOf is this fixture's stand-in for resultcache.KeyOf: identity
+// sinks are matched by name, wherever they live.
+func KeyOf(payload string) string { return payload }
+
+// Doc is the identity-rendered document.
+type Doc struct {
+	Body string
+}
+
+// IdentityJSON seeds the canonical wall-clock-into-identity flow: a
+// stamp read inside the sink's own body reaches the rendered result.
+func (d Doc) IdentityJSON() []byte {
+	stamp := time.Now().Format(time.RFC3339)
+	return []byte(d.Body + stamp) // want `wall-clock value from time\.Now \(from .*identtaint\.go:\d+:\d+\) flows into the identity result of IdentityJSON`
+}
+
+// DirectStamp passes a wall-clock value straight into the sink.
+func DirectStamp() string {
+	return KeyOf(time.Now().String()) // want `wall-clock value from time\.Now \(from .*identtaint\.go:\d+:\d+\) flows into identity sink identfix\.KeyOf`
+}
+
+// stampVia launders the clock through a helper: the flow is caught by
+// the helper's summary, not by any syntax at the call site.
+func stampVia() string {
+	return time.Now().Format(time.RFC3339Nano)
+}
+
+// IndirectStamp flows the helper's result into the sink.
+func IndirectStamp() string {
+	return KeyOf(stampVia()) // want `wall-clock value from time\.Now \(from .*identtaint\.go:\d+:\d+\) flows into identity sink identfix\.KeyOf`
+}
+
+// AcceptedStamp is the reasoned-suppression case: an accepted flow
+// carries its justification and is silenced.
+func AcceptedStamp() string {
+	return KeyOf(time.Now().String()) //ghrplint:ignore identtaint fixture: deliberately wall-clock-keyed entry, never deduplicated across runs
+}
+
+// UnorderedKeys joins map keys in iteration order and feeds the sink.
+func UnorderedKeys(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return KeyOf(strings.Join(keys, ",")) // want `map iteration order \(from .*identtaint\.go:\d+:\d+\) flows into identity sink identfix\.KeyOf`
+}
+
+// SortedKeys is the same shape with the sort sanitizer: order taint is
+// cleared, nothing is reported.
+func SortedKeys(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return KeyOf(strings.Join(keys, ","))
+}
+
+// KeyedPlacement re-ranges a map into keyed slots: m2[k] = v names each
+// slot by data, not by arrival, so no order taint survives.
+func KeyedPlacement(m map[string]int) string {
+	m2 := make(map[string]int, len(m))
+	for k, v := range m {
+		m2[k] = v
+	}
+	return KeyOf(renderSorted(m2))
+}
+
+func renderSorted(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// RacedMerge receives same-typed shard results from two channels in a
+// select: which result lands first is scheduler-chosen, so the
+// accumulated transcript carries order taint.
+func RacedMerge(a, b <-chan string, n int) string {
+	var parts []string
+	for i := 0; i < n; i++ {
+		select {
+		case s := <-a:
+			parts = append(parts, s)
+		case s := <-b:
+			parts = append(parts, s)
+		}
+	}
+	return KeyOf(strings.Join(parts, "|")) // want `select arrival order \(from .*identtaint\.go:\d+:\d+\) flows into identity sink identfix\.KeyOf`
+}
+
+// CompletionSelect is the benign result-or-error shape: the two clauses
+// receive different element types, so arrival order chooses control
+// flow, not which same-shaped datum is observed. No taint.
+func CompletionSelect(res <-chan string, errs <-chan error) (string, error) {
+	select {
+	case s := <-res:
+		return KeyOf(s), nil
+	case err := <-errs:
+		return "", err
+	}
+}
+
+// Pure never touches a source; the sink call is clean.
+func Pure(body string) string {
+	return KeyOf(body)
+}
+
+// markedSink is annotated as an identity sink without the magic names.
+//
+//ghrp:identity
+func markedSink(doc string) string { return doc }
+
+// MarkedFlow feeds the annotated sink a tainted value.
+func MarkedFlow() string {
+	return markedSink(stampVia()) // want `wall-clock value from time\.Now \(from .*identtaint\.go:\d+:\d+\) flows into identity sink identfix\.markedSink`
+}

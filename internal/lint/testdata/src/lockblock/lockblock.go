@@ -1,0 +1,100 @@
+// Package obs (a fixture stand-in — lockblock is scoped to the
+// serve/dist/obs package names) exercises the lock-held-across-blocking
+// rule: channel operations, sleeps and network writes inside a mutex
+// critical section stall every other acquirer.
+package obs
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type Hub struct {
+	mu   sync.Mutex
+	subs []chan int
+}
+
+// Broadcast sends to subscribers while holding the hub lock: one slow
+// subscriber stalls everyone.
+func (h *Hub) Broadcast(v int) {
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		ch <- v // want `a channel send while holding h\.mu stalls every other acquirer; release the lock \(or snapshot under it\) before blocking`
+	}
+	h.mu.Unlock()
+}
+
+// BroadcastSnapshot copies the subscriber list under the lock and sends
+// after releasing it: the recognized fix.
+func (h *Hub) BroadcastSnapshot(v int) {
+	h.mu.Lock()
+	subs := append([]chan int(nil), h.subs...)
+	h.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+// SleepUnderLock holds the mutex (deferred unlock) across a sleep.
+func (h *Hub) SleepUnderLock() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding h\.mu stalls every other acquirer`
+}
+
+// drain parks on a channel receive; its may-block summary is what the
+// interprocedural case below reports through.
+func (h *Hub) drain(ch chan int) int {
+	return <-ch
+}
+
+// DrainUnderLock blocks through a module callee: the summary, not the
+// syntax at this site, carries the fact.
+func (h *Hub) DrainUnderLock(ch chan int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.drain(ch) // want `drain, which reaches a channel receive while holding h\.mu stalls every other acquirer`
+}
+
+// FlushUnderLock pushes an SSE frame while holding the lock: a client
+// that stopped reading backpressures into every other subscriber.
+func (h *Hub) FlushUnderLock(w http.ResponseWriter, f http.Flusher, frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w.Write(frame) // want `http\.ResponseWriter\.Write while holding h\.mu stalls every other acquirer`
+	f.Flush()      // want `http\.Flusher\.Flush while holding h\.mu stalls every other acquirer`
+}
+
+// CondWait is exempt: sync.Cond.Wait releases the mutex while parked.
+func (h *Hub) CondWait(c *sync.Cond) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.subs) == 0 {
+		c.Wait()
+	}
+}
+
+// SelectUnderLock parks on a no-default select inside the region.
+func (h *Hub) SelectUnderLock(a, b chan int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want `a select with no default while holding h\.mu stalls every other acquirer`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// NonBlockingUnderLock uses a default clause: the select cannot park.
+func (h *Hub) NonBlockingUnderLock(ch chan int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

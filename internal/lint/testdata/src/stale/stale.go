@@ -1,0 +1,19 @@
+// Package trace (a fixture stand-in — "trace" is in the deterministic
+// set, so detwallclock applies) exercises stale-suppression hygiene: a
+// reasoned directive that still suppresses a diagnostic is fine, one
+// whose diagnostic no longer fires is itself reported.
+package trace
+
+import "time"
+
+// Used carries a justified suppression that still earns its keep.
+func Used() time.Time {
+	return time.Now() //ghrplint:ignore detwallclock fixture: the stamp is display-only and never enters a result
+}
+
+// Gone once read the clock; the code was fixed but the directive was
+// left behind, so the driver reports it as stale.
+func Gone() time.Duration {
+	//ghrplint:ignore detwallclock the conversion below used to call time.Since
+	return time.Duration(42) * time.Millisecond
+}

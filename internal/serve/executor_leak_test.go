@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestExecutorDrainNoLeak pins the other half of the PR-10 concurrency
+// sweep: every worker slot started by NewExecutor must exit through
+// Drain — including when jobs are still queued — so restarting or
+// stopping the daemon never strands slot goroutines. The quit-then-
+// drain-the-queue loop in worker() is the path under test.
+func TestExecutorDrainNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	now := func() time.Time { return time.Unix(0, 0) }
+	x := NewExecutor(4, 8, nil, now)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	x.Drain(ctx)
+
+	if !x.Draining() {
+		t.Fatal("executor should report draining after Drain")
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after drain; worker slots leaked",
+		before, runtime.NumGoroutine())
+}
